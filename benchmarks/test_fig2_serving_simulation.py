@@ -1,0 +1,73 @@
+"""Figure 2 / §4.6 — online-deployment simulation: synchronous vs asynchronous.
+
+The paper motivates APAN with a deployment argument (Figure 2): in a real
+platform the temporal graph lives in a distributed graph database, so every
+neighbour query on the decision path costs a storage round-trip, and the
+asynchronous design removes those round-trips entirely.  This benchmark runs
+the deployment simulator with a storage latency model and reports the
+end-to-end decision latency of:
+
+* APAN served asynchronously (mailbox reads from a key-value store, mail
+  propagation on a background queue);
+* APAN with its propagation forced onto the critical path (ablation);
+* TGN served synchronously (graph-database neighbour queries on the path).
+"""
+
+import pytest
+
+from repro.baselines import TGN
+from repro.serving import DeploymentSimulator, StorageLatencyModel
+from repro.utils import format_table
+
+from .harness import BATCH_SIZE, SEED, bench_dataset, make_apan
+
+
+@pytest.fixture(scope="module")
+def serving_reports():
+    dataset = bench_dataset("wikipedia")
+    graph = dataset.to_temporal_graph()
+
+    def storage():
+        return StorageLatencyModel(graph_query_ms=8.0, kv_read_ms=0.4,
+                                   jitter=0.1, seed=SEED)
+
+    apan_async = DeploymentSimulator(make_apan(dataset), graph, storage=storage(),
+                                     batch_size=BATCH_SIZE).run(max_batches=10,
+                                                                synchronous=False)
+    apan_sync = DeploymentSimulator(make_apan(dataset), graph, storage=storage(),
+                                    batch_size=BATCH_SIZE).run(max_batches=10,
+                                                               synchronous=True)
+    tgn_model = TGN(dataset.num_nodes, dataset.edge_feature_dim, num_layers=1,
+                    num_neighbors=10, seed=SEED)
+    tgn_sync = DeploymentSimulator(tgn_model, graph, storage=storage(),
+                                   batch_size=BATCH_SIZE).run(max_batches=10)
+    return {
+        "APAN (asynchronous deployment)": apan_async,
+        "APAN (propagation forced sync)": apan_sync,
+        "TGN (synchronous deployment)": tgn_sync,
+    }
+
+
+def test_fig2_serving_simulation(serving_reports, benchmark):
+    benchmark.pedantic(lambda: serving_reports, rounds=1, iterations=1)
+
+    rows = [
+        {"Deployment": name, "mean ms": report.mean_decision_ms,
+         "p95 ms": report.p95_decision_ms, "p99 ms": report.p99_decision_ms,
+         "async lag ms": report.mean_async_lag_ms}
+        for name, report in serving_reports.items()
+    ]
+    print("\n=== Figure 2 / §4.6: simulated online decision latency per batch ===")
+    print(format_table(rows))
+
+    apan_async = serving_reports["APAN (asynchronous deployment)"]
+    apan_sync = serving_reports["APAN (propagation forced sync)"]
+    tgn_sync = serving_reports["TGN (synchronous deployment)"]
+
+    # The asynchronous deployment is the whole point: decisions are much
+    # cheaper than any synchronous alternative.
+    assert apan_async.mean_decision_ms < apan_sync.mean_decision_ms
+    assert apan_async.mean_decision_ms < tgn_sync.mean_decision_ms
+    assert apan_async.p99_decision_ms < tgn_sync.p99_decision_ms
+    # The asynchronous queue keeps up: propagation lag stays bounded.
+    assert apan_async.mean_async_lag_ms < 100 * apan_async.mean_decision_ms

@@ -1,0 +1,77 @@
+"""Figure 6 — inference time (ms per batch) versus AP.
+
+Regenerates the latency axis of Figure 6: the per-batch critical-path
+inference latency of APAN (1 and 2 propagation hops), TGAT (1/2 layers),
+TGN (1/2 layers), JODIE and DyRep, streaming the Wikipedia-like dataset.
+
+Shape expectations (the paper's headline efficiency claims):
+* APAN's inference is several times faster than TGN's and TGAT's;
+* APAN's latency is flat in the number of propagation layers (hops), whereas
+  TGAT's and TGN's latency grows with the number of layers;
+* JODIE is also fast (no graph query) but pays for it in accuracy (Table 2).
+"""
+
+import pytest
+
+from repro.baselines import DyRep, JODIE, TGAT, TGN
+from repro.eval import measure_inference_latency
+from repro.utils import format_table
+
+from .harness import BATCH_SIZE, SEED, bench_dataset, make_apan
+
+
+@pytest.fixture(scope="module")
+def latency_results():
+    dataset = bench_dataset("wikipedia")
+    graph = dataset.to_temporal_graph()
+    n, d = dataset.num_nodes, dataset.edge_feature_dim
+    models = {
+        "APAN-1layer": make_apan(dataset, num_hops=1),
+        "APAN-2layers": make_apan(dataset, num_hops=2),
+        "JODIE": JODIE(n, d, seed=SEED),
+        "DyRep": DyRep(n, d, num_neighbors=10, seed=SEED),
+        "TGN-1layer": TGN(n, d, num_layers=1, num_neighbors=10, seed=SEED),
+        "TGN-2layers": TGN(n, d, num_layers=2, num_neighbors=10, seed=SEED),
+        "TGAT-1layer": TGAT(n, d, num_layers=1, num_neighbors=10, seed=SEED),
+        "TGAT-2layers": TGAT(n, d, num_layers=2, num_neighbors=10, seed=SEED),
+    }
+    results = {}
+    for name, model in models.items():
+        results[name] = measure_inference_latency(
+            model, graph, batch_size=BATCH_SIZE, max_batches=8, seed=SEED
+        )
+    return results
+
+
+def test_fig6_inference_latency(latency_results, benchmark):
+    benchmark.pedantic(lambda: latency_results, rounds=1, iterations=1)
+
+    rows = [
+        {"Model": name, "mean ms/batch": result.mean_ms,
+         "median ms/batch": result.median_ms, "p95 ms/batch": result.p95_ms}
+        for name, result in sorted(latency_results.items(),
+                                   key=lambda item: item[1].mean_ms)
+    ]
+    print("\n=== Figure 6: critical-path inference latency per batch "
+          f"(batch size {BATCH_SIZE}) ===")
+    print(format_table(rows))
+
+    apan1 = latency_results["APAN-1layer"].mean_ms
+    apan2 = latency_results["APAN-2layers"].mean_ms
+    tgn1 = latency_results["TGN-1layer"].mean_ms
+    tgn2 = latency_results["TGN-2layers"].mean_ms
+    tgat1 = latency_results["TGAT-1layer"].mean_ms
+    tgat2 = latency_results["TGAT-2layers"].mean_ms
+
+    # APAN is substantially faster than the synchronous models (paper: 8.7x vs TGN).
+    assert apan2 < tgn1, "APAN should be faster than TGN-1layer"
+    assert apan2 < tgat1, "APAN should be faster than TGAT-1layer"
+    speedup_vs_tgn2 = tgn2 / apan2
+    print(f"\nAPAN-2layers speed-up over TGN-2layers: {speedup_vs_tgn2:.1f}x "
+          "(paper reports 8.7x on GPU)")
+    assert speedup_vs_tgn2 > 2.0
+
+    # APAN latency is flat in the number of propagation hops; TGAT/TGN grow.
+    assert apan2 < apan1 * 1.6, "APAN latency should not grow with propagation hops"
+    assert tgat2 > tgat1 * 1.5, "TGAT latency should grow sharply with layers"
+    assert tgn2 > tgn1 * 1.5, "TGN latency should grow sharply with layers"

@@ -1,0 +1,53 @@
+"""Figure 9 — AP grid over (number of sampled neighbours) x (mailbox slots).
+
+The paper sweeps both hyper-parameters over {5, 10, 15, 20} on Wikipedia and
+finds the AP fluctuates by only ~0.6 points: APAN is robust to its two main
+hyper-parameters.  This benchmark reproduces the grid at benchmark scale and
+asserts the same flatness property (with a wider tolerance because the
+dataset is far smaller).
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils import format_grid
+
+from .harness import bench_dataset, make_apan, train_dynamic_model
+
+GRID_VALUES = (5, 10, 15, 20)
+
+
+@pytest.fixture(scope="module")
+def mailbox_grid():
+    dataset = bench_dataset("wikipedia")
+    grid: dict[tuple, float] = {}
+    for num_neighbors in GRID_VALUES:
+        for num_slots in GRID_VALUES:
+            model = make_apan(dataset, num_mailbox_slots=num_slots,
+                              num_neighbors=num_neighbors)
+            run = train_dynamic_model(f"apan-{num_neighbors}-{num_slots}", model,
+                                      dataset, epochs=3)
+            grid[(num_neighbors, num_slots)] = run.val_ap
+    return grid
+
+
+def test_fig9_mailbox_and_neighbor_grid(mailbox_grid, benchmark):
+    benchmark.pedantic(lambda: mailbox_grid, rounds=1, iterations=1)
+
+    as_percent = {key: 100.0 * value for key, value in mailbox_grid.items()}
+    print("\n=== Figure 9: AP (%) over sampled-neighbours x mailbox-slots "
+          "(Wikipedia-like) ===")
+    print(format_grid(as_percent, row_labels=list(GRID_VALUES),
+                      col_labels=list(GRID_VALUES),
+                      row_name="neighbors", col_name="slots"))
+
+    values = np.array(list(mailbox_grid.values()))
+    spread = values.max() - values.min()
+    print(f"\nbest-worst AP spread: {100 * spread:.2f} points "
+          "(paper reports 0.6 points at full scale)")
+
+    # Robustness: every cell performs well and the spread is bounded.  (At
+    # full scale the paper reports a 0.6-point spread; at bench scale 3-epoch
+    # training noise dominates, so the band is wider.)
+    assert values.min() > 0.55, "APAN should not collapse for any grid setting"
+    assert spread < 0.18, "APAN should be robust to mailbox/neighbour settings"

@@ -1,0 +1,57 @@
+"""Table 1 — dataset statistics.
+
+Regenerates the statistics table (edges, nodes, feature dims, train/eval node
+populations, timespan, label counts) for the three datasets.  The synthetic
+stand-ins are generated at ``BENCH_SCALE``; the asserted *shape* properties
+are the ones the rest of the evaluation relies on: Wikipedia-like has a large
+unseen-node population, Reddit-like has almost none, Alipay-like is a
+non-bipartite edge-labelled transaction graph over 14 days.
+"""
+
+import pytest
+
+from repro.datasets import compute_statistics, statistics_table
+
+from .harness import bench_dataset
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return [bench_dataset(name) for name in ("wikipedia", "reddit", "alipay")]
+
+
+def test_table1_dataset_statistics(datasets, benchmark):
+    stats = benchmark.pedantic(
+        lambda: [compute_statistics(d) for d in datasets], rounds=1, iterations=1
+    )
+    print("\n=== Table 1: dataset statistics (benchmark-scale synthetic stand-ins) ===")
+    print(statistics_table(datasets))
+
+    by_name = {s.name: s for s in stats}
+    wikipedia, reddit, alipay = by_name["wikipedia"], by_name["reddit"], by_name["alipay"]
+
+    # Feature dimensions and label kinds match the paper exactly.
+    assert wikipedia.edge_feature_dim == 172
+    assert reddit.edge_feature_dim == 172
+    assert alipay.edge_feature_dim == 101
+    assert wikipedia.label_kind == "node"
+    assert alipay.label_kind == "edge"
+
+    # Timespans: 30 days for the JODIE datasets, 14 days for Alipay.
+    assert wikipedia.timespan_days == pytest.approx(30.0, rel=0.05)
+    assert reddit.timespan_days == pytest.approx(30.0, rel=0.05)
+    assert alipay.timespan_days == pytest.approx(14.0, rel=0.05)
+
+    # Inductive structure: Wikipedia has a much larger unseen-node share than Reddit.
+    wiki_unseen = wikipedia.unseen_nodes_in_eval / max(
+        wikipedia.unseen_nodes_in_eval + wikipedia.old_nodes_in_eval, 1)
+    reddit_unseen = reddit.unseen_nodes_in_eval / max(
+        reddit.unseen_nodes_in_eval + reddit.old_nodes_in_eval, 1)
+    assert wiki_unseen > reddit_unseen
+
+    # Label sparsity: labelled interactions are a small fraction of all events.
+    for stat in stats:
+        assert 0 < stat.num_labeled < 0.05 * stat.num_edges
+
+    # Bipartite structure: Wikipedia/Reddit users never appear as items.
+    assert wikipedia.num_nodes > 0 and alipay.num_nodes > 0

@@ -1,0 +1,113 @@
+"""Table 3 — dynamic node classification (Wikipedia, Reddit) and edge
+classification (Alipay), ROC-AUC.
+
+The models are first trained self-supervised on link prediction, then frozen;
+a small MLP decoder is trained on the training-window events and evaluated on
+the later windows (the TGAT/TGN/APAN protocol).
+
+At benchmark scale the published label sparsity (~0.1%) would leave only a
+couple of positive examples, so the label rate of the synthetic generators is
+raised (documented substitution, see DESIGN.md) — the *task structure*
+(dynamic labels caused by latent misbehaviour visible in edge features) is
+unchanged.
+
+Shape expectations: dynamic models' AUC is clearly above 0.5 (the labels are
+learnable from the stream) and APAN is competitive with TGN.
+"""
+
+import pytest
+
+from repro.baselines import DeepWalk, GraphSAGEBaseline
+from repro.datasets import alipay_like, bipartite_interaction_dataset
+from repro.utils import format_table
+
+from .harness import (
+    BATCH_SIZE,
+    SEED,
+    dynamic_model_zoo,
+    edge_classification_auc,
+    node_classification_auc,
+    percent,
+    static_node_classification_auc,
+    train_dynamic_model,
+)
+
+# Dynamic methods compared in Table 3 (a representative subset of the zoo to
+# keep the harness fast; the full zoo can be enabled by editing this list).
+DYNAMIC_SUBSET = ("JODIE", "TGN", "APAN")
+
+
+@pytest.fixture(scope="module")
+def node_classification_datasets():
+    wikipedia = bipartite_interaction_dataset(
+        name="wikipedia", num_users=80, num_items=12, num_events=1500,
+        edge_feature_dim=64, repeat_probability=0.70, label_rate=0.03,
+        cold_start_fraction=0.20, seed=SEED,
+    )
+    reddit = bipartite_interaction_dataset(
+        name="reddit", num_users=60, num_items=10, num_events=2000,
+        edge_feature_dim=64, repeat_probability=0.75, label_rate=0.03,
+        cold_start_fraction=0.02, seed=SEED + 1,
+    )
+    return {"wikipedia": wikipedia, "reddit": reddit}
+
+
+@pytest.fixture(scope="module")
+def edge_classification_dataset():
+    return alipay_like(scale=0.0008, seed=SEED, fraud_rate=0.03)
+
+
+@pytest.fixture(scope="module")
+def table3_results(node_classification_datasets, edge_classification_dataset):
+    results: dict[str, dict[str, float]] = {}
+
+    # Node classification on the Wikipedia/Reddit stand-ins.
+    for dataset_name, dataset in node_classification_datasets.items():
+        per_method: dict[str, float] = {}
+        per_method["SAGE"] = static_node_classification_auc(
+            GraphSAGEBaseline(epochs=15, seed=SEED).fit(dataset, dataset.split()), dataset)
+        per_method["DeepWalk"] = static_node_classification_auc(
+            DeepWalk(seed=SEED).fit(dataset, dataset.split()), dataset)
+        zoo = dynamic_model_zoo(dataset)
+        for name in DYNAMIC_SUBSET:
+            run = train_dynamic_model(name, zoo[name], dataset, epochs=4)
+            per_method[name] = node_classification_auc(run.model, dataset)
+        results[dataset_name] = per_method
+
+    # Edge classification on the Alipay stand-in.
+    per_method = {}
+    zoo = dynamic_model_zoo(edge_classification_dataset)
+    for name in DYNAMIC_SUBSET:
+        run = train_dynamic_model(name, zoo[name], edge_classification_dataset, epochs=3)
+        per_method[name] = edge_classification_auc(run.model, edge_classification_dataset)
+    results["alipay"] = per_method
+    return results
+
+
+def test_table3_classification(table3_results, benchmark):
+    benchmark.pedantic(lambda: table3_results, rounds=1, iterations=1)
+
+    methods = sorted({m for per in table3_results.values() for m in per})
+    rows = []
+    for method in methods:
+        row = {"Method": method}
+        for dataset_name in ("wikipedia", "reddit", "alipay"):
+            auc = table3_results[dataset_name].get(method)
+            row[f"{dataset_name} AUC (%)"] = percent(auc) if auc is not None else "\\"
+        rows.append(row)
+    print("\n=== Table 3: node / edge classification AUC "
+          "(benchmark-scale synthetic stand-ins) ===")
+    print(format_table(rows))
+
+    for dataset_name in ("wikipedia", "reddit"):
+        apan_auc = table3_results[dataset_name]["APAN"]
+        tgn_auc = table3_results[dataset_name]["TGN"]
+        # The dynamic labels are learnable from the stream.
+        assert apan_auc > 0.55, f"APAN node-classification AUC too low on {dataset_name}"
+        # APAN is competitive with TGN (paper: APAN wins Wikipedia, TGN wins
+        # Reddit).  The bench-scale eval windows contain only a handful of
+        # positive labels, so per-method AUCs are noisy — the margin is wide.
+        assert apan_auc > tgn_auc - 0.30
+
+    apan_edge_auc = table3_results["alipay"]["APAN"]
+    assert apan_edge_auc > 0.6, "fraud-transaction signal should be learnable"

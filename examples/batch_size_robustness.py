@@ -1,0 +1,61 @@
+"""Batch-size robustness: why the asynchronous design tolerates large batches.
+
+Internet platforms may have to score thousands of events per batch (§4.7).
+Synchronous CTDG models lose the freshest interactions inside a batch (every
+event is assumed to arrive simultaneously), so their accuracy degrades as the
+batch grows.  APAN never looks at the current batch when encoding — it reads
+the mailbox state produced by *earlier* batches — so growing the batch mostly
+leaves it unaffected.
+
+This example trains APAN and TGN at several batch sizes on a Wikipedia-like
+stream and prints the AP-vs-batch-size series (the shape of Figure 8).
+
+Run with ``python examples/batch_size_robustness.py``.
+"""
+
+from __future__ import annotations
+
+from repro import APAN, APANConfig, LinkPredictionTrainer, get_dataset
+from repro.baselines import TGN
+from repro.utils import format_table
+
+BATCH_SIZES = (25, 50, 100, 200)
+
+
+def train_with_batch_size(model, graph, split, batch_size: int) -> float:
+    trainer = LinkPredictionTrainer(
+        model, graph, split.train_end, split.val_end,
+        batch_size=batch_size, learning_rate=2e-3, max_epochs=4, patience=4,
+    )
+    return trainer.fit().best_val.average_precision
+
+
+def main() -> None:
+    dataset = get_dataset("wikipedia", scale=0.01)
+    split = dataset.split()
+    graph = dataset.to_temporal_graph()
+
+    rows = []
+    for batch_size in BATCH_SIZES:
+        apan = APAN(dataset.num_nodes, dataset.edge_feature_dim,
+                    APANConfig(learning_rate=2e-3, batch_size=batch_size,
+                               dropout=0.0, seed=0))
+        tgn = TGN(dataset.num_nodes, dataset.edge_feature_dim,
+                  num_layers=1, num_neighbors=10, seed=0)
+        rows.append({
+            "batch size": batch_size,
+            "APAN AP (%)": 100.0 * train_with_batch_size(apan, graph, split, batch_size),
+            "TGN AP (%)": 100.0 * train_with_batch_size(tgn, graph, split, batch_size),
+        })
+        print(f"finished batch size {batch_size}")
+
+    print("\nAP vs batch size (Wikipedia-like):")
+    print(format_table(rows))
+    apan_drop = rows[0]["APAN AP (%)"] - rows[-1]["APAN AP (%)"]
+    tgn_drop = rows[0]["TGN AP (%)"] - rows[-1]["TGN AP (%)"]
+    print(f"\nAP lost going from batch {BATCH_SIZES[0]} to {BATCH_SIZES[-1]}: "
+          f"APAN {apan_drop:+.2f} points, TGN {tgn_drop:+.2f} points.")
+
+
+if __name__ == "__main__":
+    main()

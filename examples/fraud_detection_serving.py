@@ -1,0 +1,69 @@
+"""Real-time fraud detection: the Alipay-style deployment scenario (Figure 2).
+
+The paper's motivating use case is an online payment platform that must decide
+*before a transaction completes* whether it is fraudulent.  This example:
+
+1. generates an Alipay-like transaction graph with planted fraud rings,
+2. trains APAN self-supervised on the transaction stream, then trains the edge
+   classification decoder on the training window's fraud labels,
+3. simulates online serving twice — once with APAN's asynchronous deployment
+   and once with a synchronous TGN deployment — using a storage latency model
+   for graph-database vs key-value reads, and compares decision latencies,
+4. reports fraud-detection AUC on the held-out window.
+
+Run with ``python examples/fraud_detection_serving.py``.
+"""
+
+from __future__ import annotations
+
+from repro import APAN, APANConfig, LinkPredictionTrainer
+from repro.baselines import TGN
+from repro.datasets import alipay_like
+from repro.eval import evaluate_edge_classification
+from repro.serving import DeploymentSimulator, StorageLatencyModel
+from repro.utils import format_table
+
+
+def main() -> None:
+    # A small Alipay-like transaction multigraph; the fraud rate is raised so
+    # the tiny sample still contains enough labelled transactions to learn from.
+    dataset = alipay_like(scale=0.001, seed=0, fraud_rate=0.03)
+    split = dataset.split()
+    graph = dataset.to_temporal_graph()
+    print(f"transactions={dataset.num_events}  accounts={dataset.num_nodes}  "
+          f"fraudulent={dataset.num_labeled}")
+
+    # --- Train APAN on the stream, then the fraud (edge classification) head.
+    apan = APAN(dataset.num_nodes, dataset.edge_feature_dim,
+                APANConfig(learning_rate=2e-3, batch_size=50, max_epochs=3, dropout=0.0))
+    LinkPredictionTrainer(apan, graph, split.train_end, split.val_end,
+                          batch_size=50, learning_rate=2e-3, max_epochs=3,
+                          patience=3).fit()
+    fraud = evaluate_edge_classification(apan, dataset, split, epochs=10, batch_size=50)
+    print(f"fraud detection AUC: val {100 * fraud.val_auc:.1f}%  "
+          f"test {100 * fraud.test_auc:.1f}%")
+
+    # --- Serving simulation: asynchronous APAN vs synchronous TGN.
+    storage = StorageLatencyModel(graph_query_ms=8.0, kv_read_ms=0.4, seed=0)
+    apan_report = DeploymentSimulator(apan, graph, storage=storage,
+                                      batch_size=50).run(max_batches=12)
+    tgn = TGN(dataset.num_nodes, dataset.edge_feature_dim, num_layers=1,
+              num_neighbors=10, seed=0)
+    tgn_report = DeploymentSimulator(tgn, graph, storage=storage,
+                                     batch_size=50).run(max_batches=12)
+
+    print("\nSimulated decision latency (per batch of 50 transactions):")
+    print(format_table([
+        {"deployment": "APAN (asynchronous)", **apan_report.as_dict()},
+        {"deployment": "TGN (synchronous)", **tgn_report.as_dict()},
+    ], columns=["deployment", "mean_decision_ms", "p95_decision_ms",
+                "p99_decision_ms", "mean_async_lag_ms"]))
+    speedup = tgn_report.mean_decision_ms / apan_report.mean_decision_ms
+    print(f"\nAPAN answers {speedup:.1f}x faster on the decision path; its mail "
+          "propagation runs on the background queue "
+          f"(mean lag {apan_report.mean_async_lag_ms:.1f} ms) where it cannot "
+          "delay the ban decision.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Interpretability: which past interaction drives a node's current embedding?
+
+Because APAN's mailbox stores the *full* detail of past interactions (both
+node embeddings and the edge feature), the encoder's attention weights can be
+read as an attribution over those interactions (paper §3.6) — something
+aggregation-based CTDG models cannot offer, since they only keep edge features.
+
+This example trains APAN on a Reddit-like stream, picks the most active user,
+and prints the mails in its mailbox ranked by how much they contributed to the
+user's latest embedding.
+
+Run with ``python examples/interpretability.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import APAN, APANConfig, LinkPredictionTrainer, get_dataset
+from repro.core import explain_node
+from repro.utils import format_table
+
+
+def main() -> None:
+    dataset = get_dataset("reddit", scale=0.002)
+    split = dataset.split()
+    graph = dataset.to_temporal_graph()
+
+    model = APAN(dataset.num_nodes, dataset.edge_feature_dim,
+                 APANConfig(learning_rate=2e-3, batch_size=50, max_epochs=3, dropout=0.0))
+    LinkPredictionTrainer(model, graph, split.train_end, split.val_end,
+                          batch_size=50, learning_rate=2e-3, max_epochs=3,
+                          patience=3).fit()
+
+    # The node whose mailbox is fullest (the most active entity in the stream).
+    occupancy = model.mailbox.occupancy()
+    node = int(np.argmax(occupancy))
+    now = float(graph.timestamps[-1]) + 1.0
+    print(f"explaining node {node} (mailbox holds {occupancy[node]} mails) "
+          f"at t={now:.0f}s")
+
+    attributions = explain_node(model, node, time=now)
+    rows = [
+        {"rank": rank + 1, "mail slot": a.slot,
+         "attention weight": a.weight,
+         "interaction time (h ago)": (now - a.timestamp) / 3600.0,
+         "mail L2 norm": float(np.linalg.norm(a.mail))}
+        for rank, a in enumerate(attributions)
+    ]
+    print(format_table(rows, float_format="{:.3f}"))
+    top = attributions[0]
+    print(f"\nThe node's current embedding is driven mostly by the interaction "
+          f"{(now - top.timestamp) / 3600.0:.1f} hours ago "
+          f"(attention weight {top.weight:.2f}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim so `pip install -e .` works without network access.
+
+The canonical metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments that lack the `wheel` package.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Baselines: dynamic CTDG models and static graph embedding methods.
+
+Dynamic (streaming, share the :class:`TemporalEmbeddingModel` interface):
+    :class:`TGN`, :class:`TGAT`, :class:`JODIE`, :class:`DyRep`.
+Static / walk-based (fit on the training window, single embedding per node):
+    :class:`DeepWalk`, :class:`Node2Vec`, :class:`CTDNE`,
+    :class:`GraphSAGEBaseline`, :class:`GATBaseline`, :class:`GAEBaseline`,
+    :class:`VGAEBaseline`.
+"""
+
+from .dyrep import DyRep
+from .jodie import JODIE
+from .memory import NodeMemory
+from .static_base import (
+    StaticBaseline,
+    StaticLinkPredictionResult,
+    evaluate_static_link_prediction,
+    evaluate_static_node_classification,
+)
+from .static_gnn import GAEBaseline, GATBaseline, GraphSAGEBaseline, VGAEBaseline
+from .temporal_attention import TemporalAttentionLayer
+from .tgat import TGAT
+from .tgn import TGN
+from .walk_embeddings import CTDNE, DeepWalk, Node2Vec
+
+__all__ = [
+    "TGN",
+    "TGAT",
+    "JODIE",
+    "DyRep",
+    "NodeMemory",
+    "TemporalAttentionLayer",
+    "DeepWalk",
+    "Node2Vec",
+    "CTDNE",
+    "GraphSAGEBaseline",
+    "GATBaseline",
+    "GAEBaseline",
+    "VGAEBaseline",
+    "StaticBaseline",
+    "StaticLinkPredictionResult",
+    "evaluate_static_link_prediction",
+    "evaluate_static_node_classification",
+]

@@ -1,0 +1,53 @@
+"""Node memory store shared by the memory-based baselines (TGN, JODIE, DyRep).
+
+The memory is streaming state (one vector per node plus the time of its last
+update), not a learnable parameter; the learnable part is the update function
+(a GRU cell) owned by each model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NodeMemory"]
+
+
+class NodeMemory:
+    """Per-node memory vectors with last-update timestamps."""
+
+    def __init__(self, num_nodes: int, memory_dim: int):
+        if num_nodes <= 0 or memory_dim <= 0:
+            raise ValueError("num_nodes and memory_dim must be positive")
+        self.num_nodes = num_nodes
+        self.memory_dim = memory_dim
+        self.vectors = np.zeros((num_nodes, memory_dim))
+        self.last_update = np.zeros(num_nodes)
+
+    def reset(self) -> None:
+        self.vectors.fill(0.0)
+        self.last_update.fill(0.0)
+
+    def get(self, nodes: np.ndarray) -> np.ndarray:
+        return self.vectors[np.asarray(nodes, dtype=np.int64)]
+
+    def time_since_update(self, nodes: np.ndarray, now: float | np.ndarray) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return np.maximum(np.asarray(now, dtype=np.float64) - self.last_update[nodes], 0.0)
+
+    def set(self, nodes: np.ndarray, values: np.ndarray, times: np.ndarray) -> None:
+        """Write new memory vectors; later occurrences of a node win."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        times = np.asarray(times, dtype=np.float64)
+        if values.shape != (len(nodes), self.memory_dim):
+            raise ValueError("values shape does not match nodes/memory_dim")
+        order = np.argsort(times, kind="stable")
+        self.vectors[nodes[order]] = values[order]
+        np.maximum.at(self.last_update, nodes, times)
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        return {"vectors": self.vectors.copy(), "last_update": self.last_update.copy()}
+
+    def restore(self, snapshot: dict[str, np.ndarray]) -> None:
+        self.vectors[:] = snapshot["vectors"]
+        self.last_update[:] = snapshot["last_update"]

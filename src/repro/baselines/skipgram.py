@@ -1,0 +1,86 @@
+"""Skip-gram with negative sampling (SGNS) over node-walk corpora.
+
+Shared training routine for the random-walk embedding baselines (DeepWalk,
+Node2Vec, CTDNE).  Implemented directly over NumPy: for each (centre, context)
+pair drawn from the walks we apply one SGD step on the binary logistic loss
+with ``k`` negative samples, which is the standard Word2Vec formulation these
+methods inherit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_skipgram", "walks_to_pairs"]
+
+
+def walks_to_pairs(walks: list[list[int]], window: int) -> np.ndarray:
+    """Expand walks into (centre, context) pairs within ``window``."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    pairs: list[tuple[int, int]] = []
+    for walk in walks:
+        for position, centre in enumerate(walk):
+            lo = max(0, position - window)
+            hi = min(len(walk), position + window + 1)
+            for other in range(lo, hi):
+                if other != position:
+                    pairs.append((centre, walk[other]))
+    if not pairs:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def train_skipgram(walks: list[list[int]], num_nodes: int, embedding_dim: int = 64,
+                   window: int = 5, num_negatives: int = 5, epochs: int = 2,
+                   learning_rate: float = 0.025, seed: int = 0) -> np.ndarray:
+    """Train SGNS embeddings from random walks; returns (num_nodes, dim)."""
+    rng = np.random.default_rng(seed)
+    pairs = walks_to_pairs(walks, window)
+    if len(pairs) == 0:
+        return np.zeros((num_nodes, embedding_dim))
+
+    # Negative sampling distribution: unigram^0.75 over walk occurrences.
+    counts = np.bincount(np.concatenate([np.asarray(w, dtype=np.int64) for w in walks]),
+                         minlength=num_nodes).astype(np.float64)
+    weights = counts ** 0.75
+    total = weights.sum()
+    if total <= 0:
+        weights = np.ones(num_nodes)
+        total = float(num_nodes)
+    noise_distribution = weights / total
+
+    input_vectors = rng.normal(0.0, 0.1, size=(num_nodes, embedding_dim))
+    output_vectors = np.zeros((num_nodes, embedding_dim))
+
+    for epoch in range(epochs):
+        lr = learning_rate * (1.0 - epoch / max(epochs, 1)) + 1e-4
+        order = rng.permutation(len(pairs))
+        negatives = rng.choice(num_nodes, size=(len(pairs), num_negatives),
+                               p=noise_distribution)
+        for row in order:
+            centre, context = pairs[row]
+            centre_vec = input_vectors[centre]
+
+            # Positive update.
+            score = 1.0 / (1.0 + np.exp(-np.dot(centre_vec, output_vectors[context])))
+            gradient = (score - 1.0)
+            grad_centre = gradient * output_vectors[context]
+            output_vectors[context] -= lr * gradient * centre_vec
+
+            # Negative updates.
+            for negative in negatives[row]:
+                if negative == context:
+                    continue
+                score = 1.0 / (1.0 + np.exp(-np.dot(centre_vec, output_vectors[negative])))
+                grad_centre += score * output_vectors[negative]
+                output_vectors[negative] -= lr * score * centre_vec
+
+            input_vectors[centre] -= lr * grad_centre
+
+    # Nodes that never appeared in any walk were never trained; report them as
+    # zero vectors (the honest "unseen node" situation for transductive methods)
+    # rather than leaking their random initialisation.
+    unseen = counts == 0
+    input_vectors[unseen] = 0.0
+    return input_vectors

@@ -1,0 +1,12 @@
+"""Static GNN baselines operating on the collapsed training graph."""
+
+from .features import build_node_features
+from .models import GAEBaseline, GATBaseline, GraphSAGEBaseline, VGAEBaseline
+
+__all__ = [
+    "build_node_features",
+    "GraphSAGEBaseline",
+    "GATBaseline",
+    "GAEBaseline",
+    "VGAEBaseline",
+]

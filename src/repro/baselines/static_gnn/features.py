@@ -1,0 +1,37 @@
+"""Node feature construction for the static GNN baselines.
+
+The datasets carry no node features (paper §4.1), so the static GNNs derive
+node inputs from the training window: each node's feature vector is the mean
+of the edge features of its incident training interactions, plus a log-degree
+scalar.  Nodes untouched during training get zero features, which is the
+honest inductive situation a static model faces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datasets.base import DatasetSplit, TemporalDataset
+
+__all__ = ["build_node_features"]
+
+
+def build_node_features(dataset: TemporalDataset, split: DatasetSplit) -> np.ndarray:
+    """(num_nodes, edge_feature_dim + 1) features from the training window."""
+    num_nodes = dataset.num_nodes
+    dim = dataset.edge_feature_dim
+    sums = np.zeros((num_nodes, dim))
+    counts = np.zeros(num_nodes)
+
+    src = dataset.src[:split.train_end]
+    dst = dataset.dst[:split.train_end]
+    features = dataset.edge_features[:split.train_end]
+
+    np.add.at(sums, src, features)
+    np.add.at(sums, dst, features)
+    np.add.at(counts, src, 1.0)
+    np.add.at(counts, dst, 1.0)
+
+    means = np.where(counts[:, None] > 0, sums / np.maximum(counts[:, None], 1.0), 0.0)
+    log_degree = np.log1p(counts)[:, None]
+    return np.concatenate([means, log_degree], axis=1)

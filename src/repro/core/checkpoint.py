@@ -1,0 +1,81 @@
+"""Checkpointing: persist a model's parameters and streaming state to one file.
+
+A deployed CTDG model has two kinds of state worth saving:
+
+* **parameters** — the learned weights (``Module.state_dict``);
+* **streaming state** — node states, mailboxes and memory vectors accumulated
+  from the event stream (``state_snapshot`` on APAN, ``memory.snapshot`` on
+  the memory baselines), which a restarted serving process needs in order to
+  keep answering without replaying history.
+
+Both are NumPy arrays, so a single ``.npz`` file holds a complete checkpoint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_PARAM_PREFIX = "param::"
+_STATE_PREFIX = "state::"
+_META_PREFIX = "meta::"
+
+
+def save_checkpoint(model: Module, path: str | Path,
+                    metadata: dict[str, float] | None = None) -> Path:
+    """Write the model's parameters (and streaming state, if any) to ``path``.
+
+    ``metadata`` may carry scalar run information (epoch, validation AP, ...);
+    values are stored as 0-d arrays.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    payload: dict[str, np.ndarray] = {}
+    for key, value in model.state_dict().items():
+        payload[_PARAM_PREFIX + key] = value
+    if hasattr(model, "state_snapshot"):
+        for key, value in model.state_snapshot().items():
+            payload[_STATE_PREFIX + key] = value
+    for key, value in (metadata or {}).items():
+        payload[_META_PREFIX + key] = np.asarray(value)
+
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(model: Module, path: str | Path) -> dict[str, float]:
+    """Restore parameters (and streaming state) saved by :func:`save_checkpoint`.
+
+    Returns the metadata dictionary stored alongside the checkpoint.  The
+    model must have the same architecture (shapes are validated by
+    ``load_state_dict``).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint {path} does not exist")
+    archive = np.load(path)
+
+    parameters = {key[len(_PARAM_PREFIX):]: archive[key]
+                  for key in archive.files if key.startswith(_PARAM_PREFIX)}
+    if not parameters:
+        raise ValueError(f"{path} does not look like a repro checkpoint")
+    model.load_state_dict(parameters)
+
+    state = {key[len(_STATE_PREFIX):]: archive[key]
+             for key in archive.files if key.startswith(_STATE_PREFIX)}
+    if state:
+        if not hasattr(model, "restore_state"):
+            raise ValueError(
+                "checkpoint contains streaming state but the model does not "
+                "implement restore_state()"
+            )
+        model.restore_state(state)
+
+    return {key[len(_META_PREFIX):]: float(archive[key])
+            for key in archive.files if key.startswith(_META_PREFIX)}

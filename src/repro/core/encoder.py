@@ -1,0 +1,112 @@
+"""APAN's attention-based encoder (paper §3.3, Figure 4).
+
+The encoder turns a node's *last* embedding ``z(t-)`` and its mailbox
+``M(t)`` into its *current* embedding ``z(t)``:
+
+1. **Positional encoding** — each mail slot gets a learned position embedding
+   added to it (Eq. 2).  A Bochner time-encoding variant (TGAT's kernel,
+   listed as future work in §3.6) can be selected instead.
+2. **Multi-head attention** — the query is ``z(t-)``, keys and values are the
+   position-encoded mailbox (Eq. 3-4); invalid (empty) mail slots are masked.
+3. **Residual + layer normalisation** — ``a = MultiHead(...) + z(t-)`` then
+   LayerNorm (Eq. 5).
+4. **MLP head** — a two-layer feed-forward network produces the new embedding.
+
+No graph query happens anywhere in this module — that is the point of APAN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.attention import MultiHeadAttention
+from ..nn.layers import Dropout, Embedding, LayerNorm, MLP, TimeEncode
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["APANEncoder"]
+
+
+class APANEncoder(Module):
+    """Mailbox-attention encoder producing temporal node embeddings."""
+
+    def __init__(self, embedding_dim: int, num_slots: int, num_heads: int = 2,
+                 hidden_dim: int = 80, dropout: float = 0.1,
+                 positional_encoding: str = "learned",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if positional_encoding not in ("learned", "time"):
+            raise ValueError("positional_encoding must be 'learned' or 'time'")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.embedding_dim = embedding_dim
+        self.num_slots = num_slots
+        self.positional_encoding = positional_encoding
+
+        if positional_encoding == "learned":
+            self.position_embedding = Embedding(num_slots, embedding_dim, rng=rng)
+            self.time_encoding = None
+        else:
+            self.position_embedding = None
+            self.time_encoding = TimeEncode(embedding_dim)
+
+        self.attention = MultiHeadAttention(
+            query_dim=embedding_dim, key_dim=embedding_dim,
+            num_heads=num_heads,
+            head_dim=max(1, embedding_dim // num_heads),
+            rng=rng,
+        )
+        self.layer_norm = LayerNorm(embedding_dim)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.head = MLP(embedding_dim, hidden_dim, embedding_dim,
+                        num_layers=2, dropout=dropout, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def encode_mailbox(self, mails: np.ndarray, mail_times: np.ndarray,
+                       current_time: float) -> Tensor:
+        """Add positional (or time) encodings to the raw mailbox matrix (Eq. 2)."""
+        mails_tensor = Tensor(mails)
+        if self.position_embedding is not None:
+            positions = np.tile(np.arange(self.num_slots), (mails.shape[0], 1))
+            return mails_tensor + self.position_embedding(positions)
+        deltas = np.maximum(current_time - mail_times, 0.0)
+        encoded = self.time_encoding(deltas.reshape(-1))
+        return mails_tensor + encoded.reshape(mails.shape[0], self.num_slots, -1)
+
+    def forward(self, last_embeddings: Tensor, mails: np.ndarray,
+                mail_times: np.ndarray, valid: np.ndarray,
+                current_time: float) -> Tensor:
+        """Compute z(t) for a batch of nodes.
+
+        Parameters
+        ----------
+        last_embeddings:
+            ``(batch, d)`` tensor of z(t-), the embeddings from each node's
+            previous interaction (zeros for never-seen nodes).
+        mails, mail_times, valid:
+            The mailbox read for these nodes (see :meth:`Mailbox.read`).
+        current_time:
+            Time of the current batch (used only by the time-encoding variant).
+        """
+        batch_size = last_embeddings.shape[0]
+        if mails.shape[:2] != (batch_size, self.num_slots):
+            raise ValueError(
+                f"mailbox shape {mails.shape} does not match "
+                f"(batch={batch_size}, slots={self.num_slots})"
+            )
+        keyed_mailbox = self.encode_mailbox(mails, mail_times, current_time)
+        query = last_embeddings.reshape(batch_size, 1, self.embedding_dim)
+        attended = self.attention(query, keyed_mailbox, keyed_mailbox, mask=valid)
+        attended = attended.reshape(batch_size, self.embedding_dim)
+        # Nodes with an entirely empty mailbox should not receive an attention
+        # contribution at all (there is nothing to attend over).
+        has_any_mail = valid.any(axis=1).astype(np.float64)[:, None]
+        attended = attended * Tensor(has_any_mail)
+        residual = attended + last_embeddings
+        normalised = self.layer_norm(residual)
+        normalised = self.dropout(normalised)
+        return self.head(normalised)
+
+    @property
+    def last_attention_weights(self) -> np.ndarray | None:
+        """Mail attention weights of the last forward pass (for interpretability)."""
+        return self.attention.last_attention_weights

@@ -1,0 +1,173 @@
+"""The mailbox: fixed-size per-node FIFO storage of incoming mails (paper §3.5).
+
+Every node owns ``num_slots`` mail slots of dimension ``mail_dim``.  A mail is
+the summary of one (reduced batch of) interaction(s) that happened in the
+node's k-hop temporal neighbourhood, labelled with its timestamp.  The mailbox
+supports exactly the operations the paper's asynchronous framework needs:
+
+* :meth:`deliver` — ψ, the FIFO update: push one mail per node, evicting the
+  oldest when full;
+* :meth:`read` — return the dense ``(len(nodes), num_slots, mail_dim)`` view
+  plus a validity mask and the mail timestamps, *sorted by timestamp* (the
+  paper notes that sorting on read makes the model robust to out-of-order
+  event arrival in distributed streaming systems);
+* alternative update policies (``reservoir``, ``newest_overwrite``) used by
+  the ablation benchmarks.
+
+The store is a set of pre-allocated NumPy arrays, so reading a batch of nodes
+is a single fancy-indexing operation — this is what keeps APAN's critical path
+free of graph queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Mailbox"]
+
+_UPDATE_POLICIES = ("fifo", "reservoir", "newest_overwrite")
+
+
+class Mailbox:
+    """Fixed-slot per-node mail storage with FIFO (or ablation) semantics."""
+
+    def __init__(self, num_nodes: int, num_slots: int, mail_dim: int,
+                 update_policy: str = "fifo", seed: int | None = None):
+        if num_nodes <= 0 or num_slots <= 0 or mail_dim <= 0:
+            raise ValueError("num_nodes, num_slots and mail_dim must be positive")
+        if update_policy not in _UPDATE_POLICIES:
+            raise ValueError(
+                f"unknown update policy {update_policy!r}; expected one of {_UPDATE_POLICIES}"
+            )
+        self.num_nodes = num_nodes
+        self.num_slots = num_slots
+        self.mail_dim = mail_dim
+        self.update_policy = update_policy
+        self._rng = np.random.default_rng(seed)
+
+        self.mails = np.zeros((num_nodes, num_slots, mail_dim))
+        self.mail_times = np.zeros((num_nodes, num_slots))
+        self.valid = np.zeros((num_nodes, num_slots), dtype=bool)
+        # Next slot to overwrite under FIFO, and how many mails ever delivered
+        # (needed by reservoir sampling).
+        self._next_slot = np.zeros(num_nodes, dtype=np.int64)
+        self._delivered = np.zeros(num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Clear all mailboxes (start of an epoch / a fresh stream)."""
+        self.mails.fill(0.0)
+        self.mail_times.fill(0.0)
+        self.valid.fill(False)
+        self._next_slot.fill(0)
+        self._delivered.fill(0)
+
+    def occupancy(self, nodes: np.ndarray | None = None) -> np.ndarray:
+        """Number of valid mails per node."""
+        if nodes is None:
+            return self.valid.sum(axis=1)
+        return self.valid[np.asarray(nodes, dtype=np.int64)].sum(axis=1)
+
+    def memory_footprint_bytes(self) -> int:
+        """Approximate memory used by the mail store (paper §4.7 discussion)."""
+        return int(self.mails.nbytes + self.mail_times.nbytes + self.valid.nbytes)
+
+    # ------------------------------------------------------------------ #
+    def deliver(self, nodes: np.ndarray, mails: np.ndarray,
+                timestamps: np.ndarray) -> None:
+        """Deliver one mail per node (ψ update).
+
+        ``nodes`` may contain duplicates — callers are expected to have
+        already reduced multiple mails per node with ρ (see
+        :class:`repro.core.propagator.MailPropagator`); if duplicates remain
+        they are applied in order, which matches sequential delivery.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        mails = np.asarray(mails, dtype=np.float64)
+        timestamps = np.asarray(timestamps, dtype=np.float64).reshape(-1)
+        if mails.shape != (len(nodes), self.mail_dim):
+            raise ValueError(
+                f"mails must have shape ({len(nodes)}, {self.mail_dim}), got {mails.shape}"
+            )
+        if len(timestamps) != len(nodes):
+            raise ValueError("timestamps must align with nodes")
+        if len(nodes) == 0:
+            return
+        if nodes.min() < 0 or nodes.max() >= self.num_nodes:
+            raise IndexError("node id out of range")
+
+        if self.update_policy == "fifo":
+            self._deliver_fifo(nodes, mails, timestamps)
+        elif self.update_policy == "newest_overwrite":
+            self._deliver_newest_overwrite(nodes, mails, timestamps)
+        else:
+            self._deliver_reservoir(nodes, mails, timestamps)
+
+    def _deliver_fifo(self, nodes, mails, timestamps) -> None:
+        unique, first_index, counts = np.unique(nodes, return_index=True, return_counts=True)
+        if counts.max(initial=1) == 1:
+            # Fully vectorised fast path: one mail per node.
+            slots = self._next_slot[nodes]
+            self.mails[nodes, slots] = mails
+            self.mail_times[nodes, slots] = timestamps
+            self.valid[nodes, slots] = True
+            self._next_slot[nodes] = (slots + 1) % self.num_slots
+            self._delivered[nodes] += 1
+            return
+        for node, mail, timestamp in zip(nodes, mails, timestamps):
+            slot = self._next_slot[node]
+            self.mails[node, slot] = mail
+            self.mail_times[node, slot] = timestamp
+            self.valid[node, slot] = True
+            self._next_slot[node] = (slot + 1) % self.num_slots
+            self._delivered[node] += 1
+
+    def _deliver_newest_overwrite(self, nodes, mails, timestamps) -> None:
+        """Ablation policy: always overwrite slot 0 (mailbox of effective size 1)."""
+        for node, mail, timestamp in zip(nodes, mails, timestamps):
+            self.mails[node, 0] = mail
+            self.mail_times[node, 0] = timestamp
+            self.valid[node, 0] = True
+            self._delivered[node] += 1
+
+    def _deliver_reservoir(self, nodes, mails, timestamps) -> None:
+        """Ablation policy: reservoir sampling keeps a uniform sample of history."""
+        for node, mail, timestamp in zip(nodes, mails, timestamps):
+            delivered = self._delivered[node]
+            if delivered < self.num_slots:
+                slot = delivered
+            else:
+                candidate = int(self._rng.integers(0, delivered + 1))
+                if candidate >= self.num_slots:
+                    self._delivered[node] += 1
+                    continue
+                slot = candidate
+            self.mails[node, slot] = mail
+            self.mail_times[node, slot] = timestamp
+            self.valid[node, slot] = True
+            self._delivered[node] += 1
+
+    # ------------------------------------------------------------------ #
+    def read(self, nodes: np.ndarray,
+             sort_by_time: bool = True) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read the mailboxes of ``nodes``.
+
+        Returns ``(mails, timestamps, valid)`` with shapes
+        ``(len(nodes), num_slots, mail_dim)``, ``(len(nodes), num_slots)`` and
+        ``(len(nodes), num_slots)``.  When ``sort_by_time`` is True, each
+        node's slots are ordered oldest-to-newest regardless of physical slot
+        position (invalid slots are pushed to the end).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        if len(nodes) and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise IndexError("node id out of range")
+        mails = self.mails[nodes].copy()
+        times = self.mail_times[nodes].copy()
+        valid = self.valid[nodes].copy()
+        if not sort_by_time or len(nodes) == 0:
+            return mails, times, valid
+        # Invalid slots get +inf sort keys so they land at the end.
+        sort_keys = np.where(valid, times, np.inf)
+        order = np.argsort(sort_keys, axis=1, kind="stable")
+        rows = np.arange(len(nodes))[:, None]
+        return mails[rows, order], times[rows, order], valid[rows, order]

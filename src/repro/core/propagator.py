@@ -1,0 +1,230 @@
+"""Asynchronous mail propagator (paper §3.5, Eq. 6).
+
+Given the embeddings produced by the encoder for a batch of interactions, the
+propagator performs, *off the synchronous critical path*:
+
+1. **Mail generation (φ)** — summarise each interaction as a mail.  The paper
+   default is the sum ``z_i(t) + e_ij(t) + z_j(t)``; concatenation (projected
+   back to the mail dimension) is provided for the ablation study.
+2. **Temporal neighbour sampling (N^k_ij)** — find the k-hop temporal
+   neighbourhood of the two interacting nodes using most-recent sampling.
+3. **Mail passing (f)** — the identity function in APAN; an exponential
+   time-decay variant is included for ablation.
+4. **Mail reducing (ρ)** — a node that receives several mails within one batch
+   reduces them to a single mail (mean by default; last/max for ablation).
+5. **Mailbox updating (ψ)** — FIFO insertion into the receivers' mailboxes
+   (delegated to :class:`repro.core.mailbox.Mailbox`).
+
+The propagator owns the model's internal :class:`TemporalGraph`, to which the
+batch's events are appended *after* propagation — so mails are routed along
+edges that existed strictly before the batch, mirroring the deployed system in
+which the graph database lags the event stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.batching import EventBatch
+from ..graph.neighbor_sampler import make_sampler
+from ..graph.temporal_graph import TemporalGraph
+from .mailbox import Mailbox
+
+__all__ = ["MailPropagator", "PropagationReport"]
+
+_PHI_CHOICES = ("sum", "concat_project")
+_RHO_CHOICES = ("mean", "last", "max")
+_F_CHOICES = ("identity", "time_decay")
+
+
+class PropagationReport:
+    """Bookkeeping about one propagation round (used by tests and examples)."""
+
+    __slots__ = ("num_mails_generated", "num_receivers", "num_mails_delivered", "hop_sizes")
+
+    def __init__(self, num_mails_generated: int, num_receivers: int,
+                 num_mails_delivered: int, hop_sizes: list[int]):
+        self.num_mails_generated = num_mails_generated
+        self.num_receivers = num_receivers
+        self.num_mails_delivered = num_mails_delivered
+        self.hop_sizes = hop_sizes
+
+
+class MailPropagator:
+    """Generates mails for a batch of events and delivers them k hops away."""
+
+    def __init__(self, mailbox: Mailbox, num_nodes: int, edge_feature_dim: int,
+                 num_hops: int = 2, num_neighbors: int = 10,
+                 sampling: str = "recent", phi: str = "sum", rho: str = "mean",
+                 mail_passing: str = "identity", time_decay: float = 1e-6,
+                 seed: int | None = None):
+        if num_hops < 1:
+            raise ValueError("num_hops must be at least 1")
+        if phi not in _PHI_CHOICES:
+            raise ValueError(f"phi must be one of {_PHI_CHOICES}")
+        if rho not in _RHO_CHOICES:
+            raise ValueError(f"rho must be one of {_RHO_CHOICES}")
+        if mail_passing not in _F_CHOICES:
+            raise ValueError(f"mail_passing must be one of {_F_CHOICES}")
+        self.mailbox = mailbox
+        self.num_nodes = num_nodes
+        self.edge_feature_dim = edge_feature_dim
+        self.num_hops = num_hops
+        self.num_neighbors = num_neighbors
+        self.sampling = sampling
+        self.phi = phi
+        self.rho = rho
+        self.mail_passing = mail_passing
+        self.time_decay = time_decay
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        # Internal, incrementally grown event store used for neighbour lookups.
+        self.graph = TemporalGraph(num_nodes, edge_feature_dim)
+        self._sampler = make_sampler(sampling, self.graph,
+                                     num_neighbors=num_neighbors, seed=seed)
+        # Optional projection used when phi == 'concat_project'.
+        if phi == "concat_project":
+            scale = 1.0 / np.sqrt(3 * edge_feature_dim)
+            self._concat_projection = self._rng.normal(
+                0.0, scale, size=(3 * edge_feature_dim, mailbox.mail_dim)
+            )
+        else:
+            self._concat_projection = None
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Clear the internal event store and all mailboxes."""
+        self.mailbox.reset()
+        self.graph = TemporalGraph(self.num_nodes, self.edge_feature_dim)
+        self._sampler = make_sampler(self.sampling, self.graph,
+                                     num_neighbors=self.num_neighbors, seed=self._seed)
+
+    # ------------------------------------------------------------------ #
+    # φ — mail generation
+    # ------------------------------------------------------------------ #
+    def generate_mails(self, batch: EventBatch, src_embeddings: np.ndarray,
+                       dst_embeddings: np.ndarray) -> np.ndarray:
+        """Create one mail per event in the batch."""
+        src_embeddings = np.asarray(src_embeddings, dtype=np.float64)
+        dst_embeddings = np.asarray(dst_embeddings, dtype=np.float64)
+        if self.phi == "sum":
+            return src_embeddings + batch.edge_features + dst_embeddings
+        concatenated = np.concatenate(
+            [src_embeddings, batch.edge_features, dst_embeddings], axis=1
+        )
+        return concatenated @ self._concat_projection
+
+    # ------------------------------------------------------------------ #
+    # N^k_ij + f + ρ + ψ — propagate and deliver
+    # ------------------------------------------------------------------ #
+    def propagate(self, batch: EventBatch, src_embeddings: np.ndarray,
+                  dst_embeddings: np.ndarray) -> PropagationReport:
+        """Run the full asynchronous link for one batch and ingest its events."""
+        mails = self.generate_mails(batch, src_embeddings, dst_embeddings)
+        receivers, receiver_mails, receiver_times, hop_sizes = self._route_mails(batch, mails)
+        reduced_nodes, reduced_mails, reduced_times = self._reduce(
+            receivers, receiver_mails, receiver_times
+        )
+        self.mailbox.deliver(reduced_nodes, reduced_mails, reduced_times)
+        report = PropagationReport(
+            num_mails_generated=len(mails),
+            num_receivers=len(reduced_nodes),
+            num_mails_delivered=len(receivers),
+            hop_sizes=hop_sizes,
+        )
+        self._ingest_events(batch)
+        return report
+
+    def ingest_only(self, batch: EventBatch) -> None:
+        """Append the batch's events to the internal store without propagating.
+
+        Used by warm-up passes that replay history to rebuild the graph store
+        without touching mailboxes.
+        """
+        self._ingest_events(batch)
+
+    # ------------------------------------------------------------------ #
+    def _route_mails(self, batch: EventBatch, mails: np.ndarray):
+        """Compute the receiver list for every mail (the interacting nodes and
+        their k-hop temporal neighbours), applying the mail-passing function f.
+        """
+        receivers: list[int] = []
+        receiver_mails: list[np.ndarray] = []
+        receiver_times: list[float] = []
+        hop_sizes = [0] * self.num_hops
+
+        for index in range(len(batch)):
+            mail = mails[index]
+            timestamp = float(batch.timestamps[index])
+            endpoints = (int(batch.src[index]), int(batch.dst[index]))
+            # Hop 0: the two interacting nodes always receive the mail.
+            for node in endpoints:
+                receivers.append(node)
+                receiver_mails.append(mail)
+                receiver_times.append(timestamp)
+            # Hops 1..k-1: temporal neighbours reached along historical edges.
+            frontier = list(endpoints)
+            seen = set(endpoints)
+            for hop in range(1, self.num_hops):
+                next_frontier: list[int] = []
+                for node in frontier:
+                    sample = self._sampler.sample(node, timestamp)
+                    for neighbor, valid in zip(sample.neighbors, sample.mask):
+                        if not valid:
+                            continue
+                        neighbor = int(neighbor)
+                        if neighbor in seen:
+                            continue
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+                        receivers.append(neighbor)
+                        receiver_mails.append(self._pass_mail(mail, hop, timestamp))
+                        receiver_times.append(timestamp)
+                        hop_sizes[hop] += 1
+                frontier = next_frontier
+                if not frontier:
+                    break
+            hop_sizes[0] += len(endpoints)
+
+        if not receivers:
+            return (np.empty(0, dtype=np.int64), np.zeros((0, self.mailbox.mail_dim)),
+                    np.empty(0), hop_sizes)
+        return (np.asarray(receivers, dtype=np.int64), np.stack(receiver_mails),
+                np.asarray(receiver_times), hop_sizes)
+
+    def _pass_mail(self, mail: np.ndarray, hop: int, timestamp: float) -> np.ndarray:
+        """f — how a mail attenuates as it travels (identity in the paper)."""
+        if self.mail_passing == "identity":
+            return mail
+        # time_decay: attenuate by hop count (a simple stand-in for distance decay).
+        return mail * float(np.exp(-self.time_decay * hop))
+
+    def _reduce(self, receivers: np.ndarray, mails: np.ndarray, times: np.ndarray):
+        """ρ — reduce multiple mails per receiver to a single mail."""
+        if len(receivers) == 0:
+            return receivers, mails, times
+        unique_nodes, inverse = np.unique(receivers, return_inverse=True)
+        reduced_mails = np.zeros((len(unique_nodes), mails.shape[1]))
+        reduced_times = np.zeros(len(unique_nodes))
+
+        if self.rho == "mean":
+            counts = np.bincount(inverse, minlength=len(unique_nodes)).astype(np.float64)
+            np.add.at(reduced_mails, inverse, mails)
+            reduced_mails /= counts[:, None]
+        elif self.rho == "max":
+            reduced_mails.fill(-np.inf)
+            np.maximum.at(reduced_mails, inverse, mails)
+        else:  # "last": keep the chronologically latest mail per receiver
+            order = np.argsort(times, kind="stable")
+            for position in order:
+                reduced_mails[inverse[position]] = mails[position]
+        np.maximum.at(reduced_times, inverse, times)
+        return unique_nodes, reduced_mails, reduced_times
+
+    def _ingest_events(self, batch: EventBatch) -> None:
+        for index in range(len(batch)):
+            self.graph.add_interaction(
+                int(batch.src[index]), int(batch.dst[index]),
+                float(batch.timestamps[index]), batch.edge_features[index],
+                label=float(batch.labels[index]),
+            )

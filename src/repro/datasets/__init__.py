@@ -1,0 +1,24 @@
+"""Temporal interaction datasets: synthetic generators, JODIE CSV I/O, splits."""
+
+from .base import DatasetSplit, TemporalDataset, chronological_split
+from .jodie_format import load_jodie_csv, save_jodie_csv
+from .registry import available_datasets, get_dataset
+from .statistics import DatasetStatistics, compute_statistics, statistics_table
+from .synthetic import alipay_like, bipartite_interaction_dataset, reddit_like, wikipedia_like
+
+__all__ = [
+    "TemporalDataset",
+    "DatasetSplit",
+    "chronological_split",
+    "bipartite_interaction_dataset",
+    "wikipedia_like",
+    "reddit_like",
+    "alipay_like",
+    "load_jodie_csv",
+    "save_jodie_csv",
+    "get_dataset",
+    "available_datasets",
+    "DatasetStatistics",
+    "compute_statistics",
+    "statistics_table",
+]

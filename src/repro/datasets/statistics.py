@@ -1,0 +1,75 @@
+"""Dataset statistics in the layout of Table 1 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import TemporalDataset
+
+__all__ = ["DatasetStatistics", "compute_statistics", "statistics_table"]
+
+
+@dataclass
+class DatasetStatistics:
+    """The rows of Table 1 for one dataset."""
+
+    name: str
+    num_edges: int
+    num_nodes: int
+    edge_feature_dim: int
+    nodes_in_train: int
+    old_nodes_in_eval: int
+    unseen_nodes_in_eval: int
+    timespan_days: float
+    num_labeled: int
+    label_kind: str
+
+    def as_dict(self) -> dict:
+        return {
+            "Dataset": self.name,
+            "Edges": self.num_edges,
+            "Nodes": self.num_nodes,
+            "Edge feature dim": self.edge_feature_dim,
+            "Nodes in train.": self.nodes_in_train,
+            "Old nodes in val. and test.": self.old_nodes_in_eval,
+            "Unseen nodes in val. and test.": self.unseen_nodes_in_eval,
+            "Timespan (days)": round(self.timespan_days, 2),
+            "Interactions with labels": self.num_labeled,
+            "Label type": self.label_kind,
+        }
+
+
+def compute_statistics(dataset: TemporalDataset, train_fraction: float = 0.70,
+                       val_fraction: float = 0.15) -> DatasetStatistics:
+    """Compute the Table 1 statistics for a dataset under the standard split."""
+    split = dataset.split(train_fraction, val_fraction)
+    unique_nodes = np.unique(np.concatenate([dataset.src, dataset.dst]))
+    return DatasetStatistics(
+        name=dataset.name,
+        num_edges=dataset.num_events,
+        num_nodes=len(unique_nodes),
+        edge_feature_dim=dataset.edge_feature_dim,
+        nodes_in_train=len(split.train_nodes),
+        old_nodes_in_eval=len(split.old_eval_nodes),
+        unseen_nodes_in_eval=len(split.unseen_eval_nodes),
+        timespan_days=dataset.timespan / 86400.0,
+        num_labeled=dataset.num_labeled,
+        label_kind=dataset.label_kind,
+    )
+
+
+def statistics_table(datasets: list[TemporalDataset]) -> str:
+    """Render a plain-text Table 1 for a list of datasets."""
+    stats = [compute_statistics(d) for d in datasets]
+    rows = [s.as_dict() for s in stats]
+    if not rows:
+        return "(no datasets)"
+    keys = list(rows[0].keys())
+    widths = {key: max(len(str(key)), max(len(str(row[key])) for row in rows)) for key in keys}
+    lines = [" | ".join(str(key).ljust(widths[key]) for key in keys)]
+    lines.append("-+-".join("-" * widths[key] for key in keys))
+    for row in rows:
+        lines.append(" | ".join(str(row[key]).ljust(widths[key]) for key in keys))
+    return "\n".join(lines)

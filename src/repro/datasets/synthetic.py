@@ -1,0 +1,313 @@
+"""Synthetic temporal interaction graph generators.
+
+The paper evaluates on the public JODIE Wikipedia and Reddit datasets and on a
+private Alipay transaction dataset.  Neither the downloads nor the proprietary
+data are available offline, so this module generates datasets with the same
+*schema* and the same *structural characteristics* the evaluation depends on:
+
+Wikipedia-like / Reddit-like (``bipartite_interaction_dataset``)
+    * bipartite user→item interaction stream over a one-month timespan,
+    * heavy-tailed (Zipf) user activity and item popularity,
+    * strong repeat-interaction structure (users return to the items they
+      edited/posted before) — this is what makes temporal models beat static
+      ones at future link prediction,
+    * 172-dimensional edge features correlated with a per-user latent state,
+    * rare dynamic "ban" labels produced by a latent misbehaviour process that
+      also perturbs the user's edge features (so the labels are learnable from
+      interactions, as in the real datasets).
+
+Alipay-like (``alipay_like``)
+    * non-bipartite transaction multigraph with community structure,
+    * a small population of colluding fraud rings whose transactions have
+      distinctive feature signatures and per-edge fraud labels,
+    * per-edge labels (``label_kind='edge'``) matching the paper's edge
+      classification task.
+
+All generators are deterministic given their seed, and
+``tests/datasets/test_synthetic.py`` asserts the statistics that Table 1
+reports (node counts, bipartiteness, label sparsity, unseen-node fraction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TemporalDataset
+
+__all__ = [
+    "bipartite_interaction_dataset",
+    "wikipedia_like",
+    "reddit_like",
+    "alipay_like",
+]
+
+_MONTH_SECONDS = 30 * 24 * 3600.0
+_TWO_WEEKS_SECONDS = 14 * 24 * 3600.0
+
+
+def _zipf_probabilities(count: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+    """Normalised Zipf-like weights with a small random perturbation."""
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    weights *= rng.uniform(0.8, 1.2, size=count)
+    return weights / weights.sum()
+
+
+def bipartite_interaction_dataset(
+    name: str,
+    num_users: int,
+    num_items: int,
+    num_events: int,
+    edge_feature_dim: int = 172,
+    timespan: float = _MONTH_SECONDS,
+    user_activity_exponent: float = 1.1,
+    item_popularity_exponent: float = 0.9,
+    repeat_probability: float = 0.65,
+    label_rate: float = 0.0015,
+    cold_start_fraction: float = 0.18,
+    seed: int = 0,
+) -> TemporalDataset:
+    """Generate a bipartite user-item temporal interaction dataset.
+
+    Parameters mirror the observable statistics of the JODIE datasets.
+    ``repeat_probability`` controls how often a user re-interacts with an item
+    from its own history (the temporal signal), and ``cold_start_fraction``
+    controls how many users only become active late in the stream (producing
+    the "unseen nodes" used for inductive evaluation).
+
+    Returns a :class:`TemporalDataset` with ``label_kind='node'``: a positive
+    label on an event means the source user is banned as a result of it.
+    """
+    if num_users <= 1 or num_items <= 1:
+        raise ValueError("need at least two users and two items")
+    if num_events <= 0:
+        raise ValueError("num_events must be positive")
+    rng = np.random.default_rng(seed)
+
+    user_probabilities = _zipf_probabilities(num_users, user_activity_exponent, rng)
+    item_probabilities = _zipf_probabilities(num_items, item_popularity_exponent, rng)
+
+    # A fraction of users is "cold": they may only start interacting in the
+    # last 30% of the timespan, which creates inductive (unseen) nodes for the
+    # chronological split.
+    num_cold = int(cold_start_fraction * num_users)
+    cold_users = rng.choice(num_users, size=num_cold, replace=False)
+    activation_time = np.zeros(num_users)
+    activation_time[cold_users] = rng.uniform(0.7 * timespan, 0.98 * timespan, size=num_cold)
+
+    # Latent user states drive edge features; misbehaving users drift their
+    # state, which is what makes the ban label learnable from interactions.
+    latent_dim = 8
+    user_state = rng.normal(0.0, 1.0, size=(num_users, latent_dim))
+    item_state = rng.normal(0.0, 1.0, size=(num_items, latent_dim))
+    feature_projection = rng.normal(0.0, 1.0, size=(2 * latent_dim, edge_feature_dim))
+    feature_projection /= np.sqrt(2 * latent_dim)
+
+    misbehaving = rng.random(num_users) < 8 * label_rate
+    misbehaviour_onset = rng.uniform(0.1 * timespan, 0.95 * timespan, size=num_users)
+
+    timestamps = np.sort(rng.uniform(0.0, timespan, size=num_events))
+    src = np.empty(num_events, dtype=np.int64)
+    dst = np.empty(num_events, dtype=np.int64)
+    labels = np.zeros(num_events)
+    edge_features = np.empty((num_events, edge_feature_dim))
+
+    user_history: dict[int, list[int]] = {}
+    banned = np.zeros(num_users, dtype=bool)
+
+    for index in range(num_events):
+        time = timestamps[index]
+        # Rejection-sample a user that is already active and not banned.
+        for _ in range(20):
+            user = int(rng.choice(num_users, p=user_probabilities))
+            if activation_time[user] <= time and not banned[user]:
+                break
+        else:
+            user = int(rng.integers(num_users))
+        history = user_history.setdefault(user, [])
+        if history and rng.random() < repeat_probability:
+            item = int(history[rng.integers(len(history))])
+        else:
+            item = int(rng.choice(num_items, p=item_probabilities))
+        history.append(item)
+
+        is_misbehaving_now = misbehaving[user] and time >= misbehaviour_onset[user]
+        state = np.concatenate([
+            user_state[user] + (1.5 if is_misbehaving_now else 0.0),
+            item_state[item],
+        ])
+        noise = rng.normal(0.0, 0.35, size=edge_feature_dim)
+        edge_features[index] = np.tanh(state @ feature_projection) + noise
+
+        # Ban decision: misbehaving users eventually receive a positive label;
+        # calibrate so roughly label_rate of events are labelled.
+        if is_misbehaving_now and rng.random() < 0.18:
+            labels[index] = 1.0
+            banned[user] = True
+
+        src[index] = user
+        dst[index] = num_users + item  # offset item ids (JODIE convention)
+
+    dataset = TemporalDataset(
+        name=name,
+        src=src,
+        dst=dst,
+        timestamps=timestamps,
+        edge_features=edge_features,
+        labels=labels,
+        bipartite=True,
+        label_kind="node",
+        metadata={
+            "num_users": num_users,
+            "num_items": num_items,
+            "timespan_days": timespan / 86400.0,
+            "seed": seed,
+        },
+    )
+    return dataset
+
+
+def wikipedia_like(scale: float = 1.0, seed: int = 0) -> TemporalDataset:
+    """Wikipedia-like dataset (users editing pages, dynamic editing-ban labels).
+
+    At ``scale=1.0`` the generated statistics match Table 1 of the paper
+    (~9.2k nodes, ~157k edges, 172-dim features, 30-day span, ~19% unseen
+    nodes).  Smaller scales keep the same shape at lower cost for tests.
+    """
+    scale = float(scale)
+    return bipartite_interaction_dataset(
+        name="wikipedia",
+        num_users=max(20, int(8227 * scale)),
+        num_items=max(10, int(1000 * scale)),
+        num_events=max(200, int(157474 * scale)),
+        edge_feature_dim=172,
+        timespan=_MONTH_SECONDS,
+        repeat_probability=0.70,
+        label_rate=217 / 157474,
+        cold_start_fraction=0.20,
+        seed=seed,
+    )
+
+
+def reddit_like(scale: float = 1.0, seed: int = 1) -> TemporalDataset:
+    """Reddit-like dataset (users posting to subreddits, posting-ban labels).
+
+    At ``scale=1.0``: ~11k nodes, ~672k edges, 172-dim features, 30 days,
+    very few unseen nodes (~1%), matching Table 1.
+    """
+    scale = float(scale)
+    return bipartite_interaction_dataset(
+        name="reddit",
+        num_users=max(20, int(10000 * scale)),
+        num_items=max(10, int(984 * scale)),
+        num_events=max(200, int(672447 * scale)),
+        edge_feature_dim=172,
+        timespan=_MONTH_SECONDS,
+        repeat_probability=0.75,
+        label_rate=366 / 672447,
+        cold_start_fraction=0.02,
+        seed=seed,
+    )
+
+
+def alipay_like(scale: float = 1.0, seed: int = 2,
+                edge_feature_dim: int = 101,
+                fraud_rate: float | None = None) -> TemporalDataset:
+    """Alipay-like financial transaction dataset with per-edge fraud labels.
+
+    The private Alipay dataset cannot be reproduced; this generator builds a
+    transaction multigraph with the published shape: ~760k nodes, ~2.77M
+    edges, 101-dim edge features, a 14-day span and a small fraction of
+    labelled (fraudulent) edges.  Fraud is generated by planted "fraud rings":
+    small communities whose members transact rapidly among themselves with a
+    distinctive feature signature — the behaviour the paper's fraud-detection
+    motivation describes.
+
+    ``label_kind='edge'``: the label belongs to the transaction itself.
+    """
+    scale = float(scale)
+    num_nodes = max(50, int(761750 * scale))
+    num_events = max(300, int(2776009 * scale))
+    timespan = _TWO_WEEKS_SECONDS
+    rng = np.random.default_rng(seed)
+
+    # Normal population organised into soft communities.
+    num_communities = max(4, num_nodes // 200)
+    community_of = rng.integers(num_communities, size=num_nodes)
+
+    # Fraud rings: ~0.4% of nodes, grouped into rings of 3-8 members.
+    num_fraud_nodes = max(6, int(0.004 * num_nodes))
+    fraud_nodes = rng.choice(num_nodes, size=num_fraud_nodes, replace=False)
+    rings: list[np.ndarray] = []
+    cursor = 0
+    while cursor < num_fraud_nodes:
+        ring_size = int(rng.integers(3, 9))
+        rings.append(fraud_nodes[cursor:cursor + ring_size])
+        cursor += ring_size
+    ring_of = {}
+    for ring_index, ring in enumerate(rings):
+        for node in ring:
+            ring_of[int(node)] = ring_index
+    ring_activity_start = rng.uniform(0.1 * timespan, 0.9 * timespan, size=len(rings))
+
+    latent_dim = 6
+    node_state = rng.normal(0.0, 1.0, size=(num_nodes, latent_dim))
+    projection = rng.normal(0.0, 1.0, size=(2 * latent_dim, edge_feature_dim))
+    projection /= np.sqrt(2 * latent_dim)
+    fraud_signature = rng.normal(0.8, 0.2, size=edge_feature_dim)
+
+    timestamps = np.sort(rng.uniform(0.0, timespan, size=num_events))
+    node_activity = _zipf_probabilities(num_nodes, 1.05, rng)
+
+    src = np.empty(num_events, dtype=np.int64)
+    dst = np.empty(num_events, dtype=np.int64)
+    labels = np.zeros(num_events)
+    edge_features = np.empty((num_events, edge_feature_dim))
+
+    # Published label sparsity; can be raised for small-scale benchmark runs so
+    # the classification task still has enough positive examples.
+    fraud_event_rate = fraud_rate if fraud_rate is not None else 11632 / 2776009
+
+    for index in range(num_events):
+        time = timestamps[index]
+        make_fraud = rng.random() < fraud_event_rate * 2.0
+        if make_fraud and rings:
+            ring_index = int(rng.integers(len(rings)))
+            ring = rings[ring_index]
+            if len(ring) >= 2 and time >= ring_activity_start[ring_index]:
+                u, v = rng.choice(ring, size=2, replace=False)
+                features = (np.tanh(np.concatenate([node_state[u], node_state[v]]) @ projection)
+                            + fraud_signature + rng.normal(0.0, 0.3, size=edge_feature_dim))
+                src[index], dst[index] = int(u), int(v)
+                edge_features[index] = features
+                labels[index] = 1.0 if rng.random() < 0.5 else 0.0
+                continue
+        # Normal transaction, mostly within the same community.
+        u = int(rng.choice(num_nodes, p=node_activity))
+        if rng.random() < 0.8:
+            same_community = np.where(community_of == community_of[u])[0]
+            v = int(same_community[rng.integers(len(same_community))])
+        else:
+            v = int(rng.integers(num_nodes))
+        if v == u:
+            v = (u + 1) % num_nodes
+        features = (np.tanh(np.concatenate([node_state[u], node_state[v]]) @ projection)
+                    + rng.normal(0.0, 0.3, size=edge_feature_dim))
+        src[index], dst[index] = u, v
+        edge_features[index] = features
+
+    return TemporalDataset(
+        name="alipay",
+        src=src,
+        dst=dst,
+        timestamps=timestamps,
+        edge_features=edge_features,
+        labels=labels,
+        bipartite=False,
+        label_kind="edge",
+        metadata={
+            "num_fraud_rings": len(rings),
+            "timespan_days": timespan / 86400.0,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,30 @@
+"""Evaluation: metrics, negative sampling, streaming evaluators, latency harness."""
+
+from .downstream import (
+    ClassificationResult,
+    collect_event_embeddings,
+    evaluate_edge_classification,
+    evaluate_node_classification,
+)
+from .evaluators import LinkPredictionResult, evaluate_link_prediction
+from .metrics import accuracy, average_precision, confusion_counts, roc_auc
+from .negative_sampling import RandomDestinationSampler, TimeAwareNegativeSampler
+from .timing import LatencyResult, measure_inference_latency, measure_training_time
+
+__all__ = [
+    "accuracy",
+    "average_precision",
+    "roc_auc",
+    "confusion_counts",
+    "TimeAwareNegativeSampler",
+    "RandomDestinationSampler",
+    "LinkPredictionResult",
+    "evaluate_link_prediction",
+    "ClassificationResult",
+    "collect_event_embeddings",
+    "evaluate_node_classification",
+    "evaluate_edge_classification",
+    "LatencyResult",
+    "measure_inference_latency",
+    "measure_training_time",
+]

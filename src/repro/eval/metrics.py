@@ -1,0 +1,98 @@
+"""Evaluation metrics: accuracy, average precision and ROC-AUC.
+
+Implemented from first principles (no scikit-learn dependency) and verified in
+tests against hand-computed values and against brute-force pairwise AUC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "average_precision", "roc_auc", "confusion_counts"]
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same length")
+    if len(scores) == 0:
+        raise ValueError("cannot compute a metric on empty inputs")
+    return scores, labels
+
+
+def accuracy(scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5) -> float:
+    """Binary classification accuracy at ``threshold``."""
+    scores, labels = _validate(scores, labels)
+    predictions = (scores >= threshold).astype(np.float64)
+    return float((predictions == labels).mean())
+
+
+def confusion_counts(scores: np.ndarray, labels: np.ndarray,
+                     threshold: float = 0.5) -> dict[str, int]:
+    """True/false positive/negative counts at ``threshold``."""
+    scores, labels = _validate(scores, labels)
+    predictions = scores >= threshold
+    positives = labels > 0.5
+    return {
+        "tp": int(np.sum(predictions & positives)),
+        "fp": int(np.sum(predictions & ~positives)),
+        "fn": int(np.sum(~predictions & positives)),
+        "tn": int(np.sum(~predictions & ~positives)),
+    }
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve, step-wise).
+
+    Matches scikit-learn's ``average_precision_score``: AP = sum over
+    thresholds of (recall_n - recall_{n-1}) * precision_n, iterating scores in
+    decreasing order.
+    """
+    scores, labels = _validate(scores, labels)
+    num_positive = float((labels > 0.5).sum())
+    if num_positive == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order] > 0.5
+
+    true_positives = np.cumsum(sorted_labels)
+    predicted_positives = np.arange(1, len(sorted_labels) + 1)
+    precision = true_positives / predicted_positives
+    recall = true_positives / num_positive
+
+    # Only threshold positions where recall increases contribute.
+    recall_prev = np.concatenate([[0.0], recall[:-1]])
+    return float(np.sum((recall - recall_prev) * precision))
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties receive half credit, matching the standard definition.  Returns 0.5
+    when one of the classes is absent (degenerate but well-defined behaviour
+    for the heavily skewed classification datasets).
+    """
+    scores, labels = _validate(scores, labels)
+    positives = labels > 0.5
+    num_positive = int(positives.sum())
+    num_negative = len(labels) - num_positive
+    if num_positive == 0 or num_negative == 0:
+        return 0.5
+
+    # Rank scores (average ranks for ties).
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    index = 0
+    while index < len(scores):
+        stop = index
+        while stop + 1 < len(scores) and sorted_scores[stop + 1] == sorted_scores[index]:
+            stop += 1
+        average_rank = 0.5 * (index + stop) + 1.0
+        ranks[order[index:stop + 1]] = average_rank
+        index = stop + 1
+
+    rank_sum_positive = ranks[positives].sum()
+    u_statistic = rank_sum_positive - num_positive * (num_positive + 1) / 2.0
+    return float(u_statistic / (num_positive * num_negative))

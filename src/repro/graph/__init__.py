@@ -1,0 +1,31 @@
+"""Temporal graph substrate: event store, samplers, static views, batching."""
+
+from .batching import EventBatch, iterate_batches, num_batches
+from .neighbor_sampler import (
+    MostRecentNeighborSampler,
+    NeighborSample,
+    TemporalNeighborSampler,
+    TimeWeightedNeighborSampler,
+    UniformNeighborSampler,
+    make_sampler,
+)
+from .snapshots import build_snapshots, snapshot_boundaries
+from .static_graph import StaticGraph
+from .temporal_graph import Interaction, TemporalGraph
+
+__all__ = [
+    "TemporalGraph",
+    "Interaction",
+    "StaticGraph",
+    "NeighborSample",
+    "TemporalNeighborSampler",
+    "MostRecentNeighborSampler",
+    "UniformNeighborSampler",
+    "TimeWeightedNeighborSampler",
+    "make_sampler",
+    "build_snapshots",
+    "snapshot_boundaries",
+    "EventBatch",
+    "iterate_batches",
+    "num_batches",
+]

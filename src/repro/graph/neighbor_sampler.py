@@ -1,0 +1,202 @@
+"""Temporal neighbour sampling strategies.
+
+The paper's propagator delivers mails to a sampled temporal neighbourhood
+N^k_ij of the two interacting nodes (§3.5, "Temporal Neighbors Sampling").
+APAN uses *most-recent* sampling; uniform and time-weighted sampling are
+implemented as well because (a) the TGAT baseline uses uniform sampling and
+(b) the ablation benchmark compares the strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .temporal_graph import TemporalGraph
+
+__all__ = [
+    "NeighborSample",
+    "TemporalNeighborSampler",
+    "MostRecentNeighborSampler",
+    "UniformNeighborSampler",
+    "TimeWeightedNeighborSampler",
+    "make_sampler",
+]
+
+
+class NeighborSample:
+    """Result of sampling one node's temporal neighbourhood.
+
+    Attributes
+    ----------
+    neighbors, edge_ids, timestamps:
+        Parallel arrays of length ``size`` (padded with ``-1`` / ``0.0``).
+    mask:
+        Boolean array; True where the slot holds a real neighbour.
+    """
+
+    __slots__ = ("neighbors", "edge_ids", "timestamps", "mask")
+
+    def __init__(self, neighbors: np.ndarray, edge_ids: np.ndarray,
+                 timestamps: np.ndarray, mask: np.ndarray):
+        self.neighbors = neighbors
+        self.edge_ids = edge_ids
+        self.timestamps = timestamps
+        self.mask = mask
+
+    @property
+    def num_valid(self) -> int:
+        return int(self.mask.sum())
+
+    @classmethod
+    def empty(cls, size: int) -> "NeighborSample":
+        return cls(
+            neighbors=np.full(size, -1, dtype=np.int64),
+            edge_ids=np.full(size, -1, dtype=np.int64),
+            timestamps=np.zeros(size, dtype=np.float64),
+            mask=np.zeros(size, dtype=bool),
+        )
+
+
+class TemporalNeighborSampler:
+    """Base class: sample up to ``num_neighbors`` events of a node before ``t``."""
+
+    def __init__(self, graph: TemporalGraph, num_neighbors: int = 10,
+                 seed: int | None = None):
+        if num_neighbors <= 0:
+            raise ValueError("num_neighbors must be positive")
+        self.graph = graph
+        self.num_neighbors = num_neighbors
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, node: int, time: float) -> NeighborSample:
+        neighbors, edge_ids, timestamps = self.graph.node_events(node, before=time)
+        if len(neighbors) == 0:
+            return NeighborSample.empty(self.num_neighbors)
+        selected = self._select(neighbors, edge_ids, timestamps)
+        return self._pad(*selected)
+
+    def sample_batch(self, nodes: np.ndarray, times: np.ndarray) -> list[NeighborSample]:
+        """Sample the neighbourhoods of several (node, time) pairs."""
+        return [self.sample(int(node), float(time)) for node, time in zip(nodes, times)]
+
+    def multi_hop(self, node: int, time: float, num_hops: int) -> list[NeighborSample]:
+        """Breadth-first multi-hop expansion (hop h samples neighbours of hop h-1).
+
+        Returns one :class:`NeighborSample` per hop whose arrays are the
+        concatenation over all frontier nodes of that hop; used by the 2-layer
+        TGAT/TGN baselines and by the k-hop mail propagator.
+        """
+        samples: list[NeighborSample] = []
+        frontier = [(node, time)]
+        for _ in range(num_hops):
+            if not frontier:
+                # Previous hop found nothing; remaining hops are empty.
+                samples.append(NeighborSample.empty(self.num_neighbors))
+                continue
+            hop_neighbors, hop_edges, hop_times, hop_mask = [], [], [], []
+            next_frontier: list[tuple[int, float]] = []
+            for frontier_node, frontier_time in frontier:
+                sample = self.sample(frontier_node, frontier_time)
+                hop_neighbors.append(sample.neighbors)
+                hop_edges.append(sample.edge_ids)
+                hop_times.append(sample.timestamps)
+                hop_mask.append(sample.mask)
+                for neighbor, timestamp, valid in zip(sample.neighbors, sample.timestamps, sample.mask):
+                    if valid:
+                        next_frontier.append((int(neighbor), float(timestamp)))
+            samples.append(NeighborSample(
+                neighbors=np.concatenate(hop_neighbors),
+                edge_ids=np.concatenate(hop_edges),
+                timestamps=np.concatenate(hop_times),
+                mask=np.concatenate(hop_mask),
+            ))
+            if not next_frontier:
+                # Remaining hops are empty; keep shapes consistent.
+                frontier = []
+                continue
+            frontier = next_frontier
+        return samples
+
+    # ------------------------------------------------------------------ #
+    def _select(self, neighbors: np.ndarray, edge_ids: np.ndarray,
+                timestamps: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _pad(self, neighbors: np.ndarray, edge_ids: np.ndarray,
+             timestamps: np.ndarray) -> NeighborSample:
+        size = self.num_neighbors
+        out = NeighborSample.empty(size)
+        count = min(size, len(neighbors))
+        out.neighbors[:count] = neighbors[:count]
+        out.edge_ids[:count] = edge_ids[:count]
+        out.timestamps[:count] = timestamps[:count]
+        out.mask[:count] = True
+        return out
+
+
+class MostRecentNeighborSampler(TemporalNeighborSampler):
+    """Keep the ``num_neighbors`` most recent events (paper default for APAN/TGN)."""
+
+    def _select(self, neighbors, edge_ids, timestamps):
+        if len(neighbors) <= self.num_neighbors:
+            return neighbors, edge_ids, timestamps
+        # Events are stored chronologically; the most recent are at the end.
+        # Return them most-recent-first so truncation keeps the newest.
+        keep = slice(len(neighbors) - self.num_neighbors, len(neighbors))
+        return neighbors[keep][::-1], edge_ids[keep][::-1], timestamps[keep][::-1]
+
+
+class UniformNeighborSampler(TemporalNeighborSampler):
+    """Sample uniformly at random from the node's history (TGAT default)."""
+
+    def _select(self, neighbors, edge_ids, timestamps):
+        if len(neighbors) <= self.num_neighbors:
+            return neighbors, edge_ids, timestamps
+        chosen = self._rng.choice(len(neighbors), size=self.num_neighbors, replace=False)
+        chosen.sort()
+        return neighbors[chosen], edge_ids[chosen], timestamps[chosen]
+
+
+class TimeWeightedNeighborSampler(TemporalNeighborSampler):
+    """Sample with probability proportional to recency (exponential decay)."""
+
+    def __init__(self, graph: TemporalGraph, num_neighbors: int = 10,
+                 seed: int | None = None, decay: float = 1e-5):
+        super().__init__(graph, num_neighbors, seed)
+        if decay <= 0:
+            raise ValueError("decay must be positive")
+        self.decay = decay
+
+    def _select(self, neighbors, edge_ids, timestamps):
+        if len(neighbors) <= self.num_neighbors:
+            return neighbors, edge_ids, timestamps
+        latest = timestamps.max()
+        weights = np.exp(-self.decay * (latest - timestamps))
+        total = weights.sum()
+        if total <= 0 or not np.isfinite(total):
+            probabilities = np.full(len(weights), 1.0 / len(weights))
+        else:
+            probabilities = weights / total
+        chosen = self._rng.choice(len(neighbors), size=self.num_neighbors,
+                                  replace=False, p=probabilities)
+        chosen.sort()
+        return neighbors[chosen], edge_ids[chosen], timestamps[chosen]
+
+
+_SAMPLERS = {
+    "recent": MostRecentNeighborSampler,
+    "uniform": UniformNeighborSampler,
+    "time_weighted": TimeWeightedNeighborSampler,
+}
+
+
+def make_sampler(strategy: str, graph: TemporalGraph, num_neighbors: int = 10,
+                 seed: int | None = None) -> TemporalNeighborSampler:
+    """Factory for sampler strategies ('recent', 'uniform', 'time_weighted')."""
+    try:
+        sampler_cls = _SAMPLERS[strategy]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown sampling strategy {strategy!r}; expected one of {sorted(_SAMPLERS)}"
+        ) from error
+    return sampler_cls(graph, num_neighbors=num_neighbors, seed=seed)

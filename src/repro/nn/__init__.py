@@ -1,0 +1,45 @@
+"""``repro.nn`` — a minimal NumPy neural-network framework.
+
+Built as the substrate for this reproduction because no deep-learning
+framework is available in the target environment.  The public surface mirrors
+the subset of PyTorch the original APAN code uses.
+"""
+
+from . import functional
+from .attention import MultiHeadAttention, scaled_dot_product_attention
+from .layers import (
+    Dropout,
+    Embedding,
+    GRUCell,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLP,
+    Sequential,
+    TimeEncode,
+)
+from .module import Module, Parameter
+from .optim import Adam, SGD, clip_grad_norm
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "GRUCell",
+    "TimeEncode",
+    "Identity",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+    "functional",
+]

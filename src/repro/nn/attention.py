@@ -1,0 +1,120 @@
+"""Multi-head scaled dot-product attention (paper Eq. 3-4).
+
+The APAN encoder attends from a single query (the node's last embedding
+``z(t-)``) over the mails stored in the node's mailbox.  The same module is
+reused by the TGAT/TGN baselines, where the query is the node state and the
+keys/values are temporal neighbour representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "scaled_dot_product_attention"]
+
+
+def scaled_dot_product_attention(query: Tensor, key: Tensor, value: Tensor,
+                                 mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+    """Compute ``softmax(QK^T / sqrt(d)) V``.
+
+    Shapes (single head): ``query`` is ``(batch, q_len, d)``, ``key`` and
+    ``value`` are ``(batch, kv_len, d)``.  ``mask`` is a boolean array of shape
+    ``(batch, q_len, kv_len)`` (or broadcastable) marking *valid* key positions.
+
+    Returns the attention output and the attention weights (the weights are
+    what the interpretability module in ``repro.core.interpret`` reads).
+    """
+    dim = query.shape[-1]
+    scores = query.matmul(key.transpose(0, 2, 1)) * (1.0 / np.sqrt(dim))
+    if mask is not None:
+        weights = F.masked_softmax(scores, np.broadcast_to(mask, scores.shape), axis=-1)
+    else:
+        weights = F.softmax(scores, axis=-1)
+    return weights.matmul(value), weights
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with separate projection matrices per head.
+
+    Heads are realised by reshaping the projected tensors, exactly as in
+    "Attention is All You Need"; the output projection ``W_O`` recombines the
+    concatenated heads (paper Eq. 4).
+    """
+
+    def __init__(self, query_dim: int, key_dim: int, num_heads: int = 2,
+                 head_dim: int | None = None, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        if head_dim is None:
+            if query_dim % num_heads != 0:
+                raise ValueError(
+                    f"query_dim={query_dim} is not divisible by num_heads={num_heads}; "
+                    "pass head_dim explicitly"
+                )
+            head_dim = query_dim // num_heads
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.query_dim = query_dim
+        self.key_dim = key_dim
+        model_dim = num_heads * head_dim
+        self.w_query = Parameter(init.xavier_uniform((query_dim, model_dim), rng))
+        self.w_key = Parameter(init.xavier_uniform((key_dim, model_dim), rng))
+        self.w_value = Parameter(init.xavier_uniform((key_dim, model_dim), rng))
+        self.w_out = Parameter(init.xavier_uniform((model_dim, query_dim), rng))
+        self._last_attention: np.ndarray | None = None
+
+    @property
+    def last_attention_weights(self) -> np.ndarray | None:
+        """Attention weights from the most recent forward call.
+
+        Shape ``(batch, num_heads, q_len, kv_len)``.  Stored as a plain NumPy
+        array (detached) so it can be inspected without keeping the graph
+        alive; used by the mail-attribution interpretability tool.
+        """
+        return self._last_attention
+
+    def forward(self, query: Tensor, key: Tensor, value: Tensor,
+                mask: np.ndarray | None = None) -> Tensor:
+        """Attend ``query`` over ``key``/``value``.
+
+        ``query``: ``(batch, q_len, query_dim)``;
+        ``key``/``value``: ``(batch, kv_len, key_dim)``;
+        ``mask``: optional boolean ``(batch, kv_len)`` or ``(batch, q_len, kv_len)``
+        marking valid key slots.
+        """
+        batch, q_len, _ = query.shape
+        kv_len = key.shape[1]
+        heads, head_dim = self.num_heads, self.head_dim
+
+        def split_heads(x: Tensor, length: int) -> Tensor:
+            return (x.reshape(batch, length, heads, head_dim)
+                     .transpose(0, 2, 1, 3)
+                     .reshape(batch * heads, length, head_dim))
+
+        projected_q = split_heads(query.matmul(self.w_query), q_len)
+        projected_k = split_heads(key.matmul(self.w_key), kv_len)
+        projected_v = split_heads(value.matmul(self.w_value), kv_len)
+
+        head_mask = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.ndim == 2:
+                mask = mask[:, None, :]
+            head_mask = np.repeat(mask, heads, axis=0)
+
+        attended, weights = scaled_dot_product_attention(
+            projected_q, projected_k, projected_v, mask=head_mask
+        )
+        self._last_attention = (
+            weights.data.reshape(batch, heads, q_len, kv_len).copy()
+        )
+
+        merged = (attended.reshape(batch, heads, q_len, head_dim)
+                          .transpose(0, 2, 1, 3)
+                          .reshape(batch, q_len, heads * head_dim))
+        return merged.matmul(self.w_out)

@@ -1,0 +1,203 @@
+"""Functional operations built on top of :class:`repro.nn.tensor.Tensor`.
+
+These free functions mirror the small subset of ``torch.nn.functional`` that
+the APAN model and its baselines use: softmax, log-softmax, dropout, layer
+normalisation, concatenation, stacking and the loss functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled, unbroadcast
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "concat",
+    "stack",
+    "dropout",
+    "layer_norm",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "mse_loss",
+    "masked_softmax",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax that assigns zero weight to positions where ``mask`` is False.
+
+    ``mask`` is a boolean NumPy array broadcastable to ``x``'s shape.  Rows in
+    which every position is masked produce a uniform distribution (rather than
+    NaNs), which is the behaviour the attention encoder wants for nodes whose
+    mailbox is still empty.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    neg_inf = np.where(mask, 0.0, -1e30)
+    logits = x + Tensor(neg_inf)
+    out = softmax(logits, axis=axis)
+    # Rows that are fully masked get a uniform distribution over valid slots
+    # (there are none, so fall back to uniform over all slots); downstream the
+    # attention output for such rows is multiplied by zero valid mails anyway.
+    all_masked = ~mask.any(axis=axis, keepdims=True)
+    if all_masked.any():
+        uniform = np.ones_like(out.data) / out.data.shape[axis]
+        correction = np.where(all_masked, uniform - out.data, 0.0)
+        out = out + Tensor(correction)
+    return out
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires)
+    if not requires:
+        return out
+
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if not tensor.requires_grad:
+                continue
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    out._parents = tuple(tensors)
+    out._backward = backward
+    return out
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires)
+    if not requires:
+        return out
+
+    def backward(grad):
+        slices = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    out._parents = tuple(tensors)
+    out._backward = backward
+    return out
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: active only while ``training`` is True."""
+    if not training or rate <= 0.0:
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    return x * Tensor(mask)
+
+
+def layer_norm(x: Tensor, gain: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension (paper Eq. 5)."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centred = x - mu
+    var = (centred * centred).mean(axis=-1, keepdims=True)
+    normalised = centred / ((var + eps) ** 0.5)
+    return normalised * gain + bias
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray | Tensor,
+                                     reduction: str = "mean") -> Tensor:
+    """Numerically stable sigmoid + BCE, matching ``F.binary_cross_entropy_with_logits``.
+
+    Uses the identity ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=np.float64)
+    x = logits
+    loss = x.relu() - x * Tensor(targets) + _softplus_of_neg_abs(x)
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def _softplus_of_neg_abs(x: Tensor) -> Tensor:
+    """Compute ``log(1 + exp(-|x|))`` with correct gradients w.r.t. ``x``."""
+    abs_data = np.abs(x.data)
+    sign = np.sign(x.data)
+    out_data = np.log1p(np.exp(-abs_data))
+
+    def backward(grad):
+        if x.requires_grad:
+            # d/dx log(1 + exp(-|x|)) = -sign(x) * sigmoid(-|x|)
+            sig = 1.0 / (1.0 + np.exp(abs_data))
+            x._accumulate(unbroadcast(grad * (-sign * sig), x.shape))
+
+    return x._make_result(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Multi-class cross entropy from raw logits and integer class labels."""
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(len(targets))
+    picked = log_probs[rows, targets]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray | Tensor, reduction: str = "mean") -> Tensor:
+    targets = Tensor.ensure(targets)
+    diff = predictions - targets.detach()
+    loss = diff * diff
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")

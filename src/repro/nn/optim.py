@@ -1,0 +1,101 @@
+"""Optimisers: Adam (paper default, lr=1e-4) and SGD, plus gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Clip gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping (useful for logging training health).
+    """
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for param in parameters:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015); the paper trains with lr = 1e-4."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 1e-4,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._moment1 = [np.zeros_like(p.data) for p in self.parameters]
+        self._moment2 = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        self._step_count += 1
+        correction1 = 1.0 - beta1 ** self._step_count
+        correction2 = 1.0 - beta2 ** self._step_count
+        for param, m1, m2 in zip(self.parameters, self._moment1, self._moment2):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m1 *= beta1
+            m1 += (1.0 - beta1) * grad
+            m2 *= beta2
+            m2 += (1.0 - beta2) * grad ** 2
+            m1_hat = m1 / correction1
+            m2_hat = m2 / correction2
+            param.data = param.data - self.lr * m1_hat / (np.sqrt(m2_hat) + self.eps)

@@ -1,0 +1,13 @@
+"""Online-deployment simulation: async queue, storage latency model, simulator."""
+
+from .latency import StorageLatencyModel
+from .queue import AsyncTask, AsyncWorkQueue
+from .service import DeploymentSimulator, ServingReport
+
+__all__ = [
+    "StorageLatencyModel",
+    "AsyncTask",
+    "AsyncWorkQueue",
+    "DeploymentSimulator",
+    "ServingReport",
+]

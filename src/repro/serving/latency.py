@@ -1,0 +1,51 @@
+"""Latency model of the storage / graph-query layer behind a deployed CTDG model.
+
+The paper argues (§4.6) that in a real platform the temporal graph lives in a
+distributed graph database, so every k-hop neighbour query on the synchronous
+path pays a per-request network/storage cost; APAN avoids that cost entirely
+because its synchronous path only reads a fixed-size mailbox from a key-value
+store.  This module models those costs so the serving simulator can reproduce
+the deployment-scenario comparison of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StorageLatencyModel"]
+
+
+@dataclass
+class StorageLatencyModel:
+    """Simple additive latency model for storage reads on the serving path.
+
+    All values are milliseconds.  ``graph_query_ms`` is the cost of fetching
+    one node's temporal adjacency list from the graph database;
+    ``kv_read_ms`` is the cost of fetching one node's mailbox / memory entry
+    from a key-value store; ``jitter`` adds log-normal noise so tail latencies
+    are realistic.
+    """
+
+    graph_query_ms: float = 8.0
+    kv_read_ms: float = 0.4
+    jitter: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self):
+        self._rng = np.random.default_rng(self.seed)
+
+    def _sample(self, base: float, count: int) -> float:
+        if count <= 0 or base <= 0:
+            return 0.0
+        noise = self._rng.lognormal(mean=0.0, sigma=self.jitter, size=count)
+        return float(base * noise.sum())
+
+    def graph_query_cost(self, num_queries: int) -> float:
+        """Total milliseconds spent on ``num_queries`` graph-database lookups."""
+        return self._sample(self.graph_query_ms, num_queries)
+
+    def kv_read_cost(self, num_reads: int) -> float:
+        """Total milliseconds spent on ``num_reads`` key-value reads."""
+        return self._sample(self.kv_read_ms, num_reads)

@@ -1,0 +1,99 @@
+"""An asynchronous work queue used by the deployment simulator.
+
+In the deployed APAN system the mail propagation runs on an asynchronous link
+(a message queue feeding background workers).  This module provides a small
+deterministic simulation of such a queue: tasks are enqueued with the
+simulation time at which they were produced, and drained by workers with a
+configurable processing rate.  The simulator uses it to show that propagation
+work never blocks the synchronous decision path and to measure propagation lag
+(how stale mailboxes are), which is the quantity the batch-size robustness
+argument of §4.7 relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["AsyncTask", "AsyncWorkQueue"]
+
+
+@dataclass
+class AsyncTask:
+    """One unit of asynchronous work (propagating the mails of one batch)."""
+
+    enqueued_at: float
+    work_ms: float
+    payload: object = None
+    completed_at: float | None = None
+
+    @property
+    def lag_ms(self) -> float:
+        """Time between production and completion (propagation staleness)."""
+        if self.completed_at is None:
+            raise ValueError("task has not completed yet")
+        return self.completed_at - self.enqueued_at
+
+
+class AsyncWorkQueue:
+    """FIFO queue drained by ``num_workers`` simulated background workers."""
+
+    def __init__(self, num_workers: int = 1):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._pending: deque[AsyncTask] = deque()
+        self._completed: list[AsyncTask] = []
+        # Each worker is represented by the simulation time at which it
+        # becomes free again.
+        self._worker_free_at = [0.0] * num_workers
+
+    # ------------------------------------------------------------------ #
+    def submit(self, now_ms: float, work_ms: float, payload: object = None) -> AsyncTask:
+        """Enqueue a task produced at simulation time ``now_ms``."""
+        task = AsyncTask(enqueued_at=now_ms, work_ms=work_ms, payload=payload)
+        self._pending.append(task)
+        return task
+
+    def drain_until(self, now_ms: float) -> list[AsyncTask]:
+        """Let workers process pending tasks up to simulation time ``now_ms``.
+
+        Returns the tasks completed by this call, in completion order.
+        """
+        completed_now: list[AsyncTask] = []
+        while self._pending:
+            worker = min(range(self.num_workers), key=lambda w: self._worker_free_at[w])
+            task = self._pending[0]
+            start = max(self._worker_free_at[worker], task.enqueued_at)
+            finish = start + task.work_ms
+            if finish > now_ms:
+                break
+            self._pending.popleft()
+            self._worker_free_at[worker] = finish
+            task.completed_at = finish
+            self._completed.append(task)
+            completed_now.append(task)
+        return completed_now
+
+    def flush(self) -> list[AsyncTask]:
+        """Process everything that is still pending, regardless of time."""
+        return self.drain_until(float("inf"))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def completed_tasks(self) -> list[AsyncTask]:
+        return list(self._completed)
+
+    def mean_lag_ms(self) -> float:
+        """Mean propagation lag over all completed tasks."""
+        if not self._completed:
+            return 0.0
+        return sum(task.lag_ms for task in self._completed) / len(self._completed)
+
+    def max_queue_depth_reached(self) -> int:
+        """Upper bound on backlog: pending plus completed gives total submitted."""
+        return len(self._completed) + len(self._pending)

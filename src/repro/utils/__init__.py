@@ -1,0 +1,7 @@
+"""Shared utilities: seeding, logging, table rendering."""
+
+from .logging import RunLogger
+from .seed import set_seed, spawn_rng
+from .tables import format_grid, format_table
+
+__all__ = ["set_seed", "spawn_rng", "RunLogger", "format_table", "format_grid"]

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_grid"]
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 float_format: str = "{:.2f}") -> str:
+    """Render a list of dicts as an aligned plain-text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [{col: render(row.get(col, "")) for col in columns} for row in rows]
+    widths = {col: max(len(col), max(len(row[col]) for row in rendered)) for col in columns}
+    lines = [" | ".join(col.ljust(widths[col]) for col in columns)]
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rendered:
+        lines.append(" | ".join(row[col].ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def format_grid(values: dict[tuple, float], row_labels: list, col_labels: list,
+                row_name: str = "", col_name: str = "",
+                float_format: str = "{:.2f}") -> str:
+    """Render a 2-D grid (e.g. Figure 9's mailbox-slots x neighbours heat map)."""
+    header_cells = [f"{row_name}\\{col_name}"] + [str(c) for c in col_labels]
+    widths = [max(len(cell), 8) for cell in header_cells]
+    lines = [" | ".join(cell.ljust(width) for cell, width in zip(header_cells, widths))]
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in row_labels:
+        cells = [str(row)]
+        for col in col_labels:
+            value = values.get((row, col))
+            cells.append("" if value is None else float_format.format(value))
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Tests for the walk-based and static GNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CTDNE,
+    DeepWalk,
+    GAEBaseline,
+    GATBaseline,
+    GraphSAGEBaseline,
+    Node2Vec,
+    VGAEBaseline,
+    evaluate_static_link_prediction,
+    evaluate_static_node_classification,
+)
+from repro.baselines.skipgram import train_skipgram, walks_to_pairs
+from repro.baselines.static_gnn import build_node_features
+
+WALK_MODELS = [DeepWalk, Node2Vec, CTDNE]
+GNN_MODELS = [GraphSAGEBaseline, GATBaseline, GAEBaseline, VGAEBaseline]
+ALL_STATIC = WALK_MODELS + GNN_MODELS
+
+
+class TestSkipGram:
+    def test_walks_to_pairs_window(self):
+        pairs = walks_to_pairs([[0, 1, 2, 3]], window=1)
+        as_set = set(map(tuple, pairs.tolist()))
+        assert (0, 1) in as_set and (1, 0) in as_set and (1, 2) in as_set
+        assert (0, 2) not in as_set
+
+    def test_walks_to_pairs_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            walks_to_pairs([[0, 1]], window=0)
+
+    def test_empty_walks_give_zero_embeddings(self):
+        out = train_skipgram([], num_nodes=5, embedding_dim=4)
+        np.testing.assert_allclose(out, np.zeros((5, 4)))
+
+    def test_cooccurring_nodes_have_similar_embeddings(self):
+        # Two cliques {0,1,2} and {3,4,5} that never co-occur.
+        walks = []
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            walks.append(rng.permutation([0, 1, 2]).tolist())
+            walks.append(rng.permutation([3, 4, 5]).tolist())
+        embeddings = train_skipgram(walks, 6, embedding_dim=16, window=2, epochs=3, seed=0)
+
+        def cosine(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+        within = cosine(embeddings[0], embeddings[1])
+        across = cosine(embeddings[0], embeddings[4])
+        assert within > across
+
+
+class TestNodeFeatures:
+    def test_build_node_features_shape_and_zeros(self, tiny_dataset, tiny_split):
+        features = build_node_features(tiny_dataset, tiny_split)
+        assert features.shape == (tiny_dataset.num_nodes, tiny_dataset.edge_feature_dim + 1)
+        # Nodes unseen in training have all-zero features.
+        for node in tiny_split.unseen_eval_nodes:
+            np.testing.assert_allclose(features[node], 0.0)
+
+
+@pytest.mark.parametrize("model_cls", ALL_STATIC)
+class TestStaticBaselineContract:
+    def test_fit_and_score(self, model_cls, tiny_dataset, tiny_split):
+        model = model_cls(seed=0) if model_cls in WALK_MODELS else model_cls(epochs=3, seed=0)
+        model.fit(tiny_dataset, tiny_split)
+        embeddings = model.node_embeddings()
+        assert embeddings.shape[0] == tiny_dataset.num_nodes
+        assert np.isfinite(embeddings).all()
+        scores = model.score_pairs(tiny_dataset.src[:10], tiny_dataset.dst[:10])
+        assert scores.shape == (10,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_link_prediction_evaluation(self, model_cls, tiny_dataset, tiny_split):
+        model = model_cls(seed=0) if model_cls in WALK_MODELS else model_cls(epochs=3, seed=0)
+        model.fit(tiny_dataset, tiny_split)
+        result = evaluate_static_link_prediction(model, tiny_dataset, tiny_split,
+                                                 batch_size=64)
+        assert 0.0 <= result.average_precision <= 1.0
+        assert 0.0 <= result.accuracy <= 1.0
+
+
+class TestStaticSpecifics:
+    def test_embeddings_require_fit(self):
+        with pytest.raises(RuntimeError):
+            DeepWalk().node_embeddings()
+        with pytest.raises(RuntimeError):
+            GAEBaseline().node_embeddings()
+
+    def test_node2vec_rejects_bad_pq(self):
+        with pytest.raises(ValueError):
+            Node2Vec(p=0.0)
+
+    def test_ctdne_walks_respect_time(self, tiny_dataset, tiny_split):
+        from repro.baselines.walk_embeddings import _training_graphs
+
+        _, temporal = _training_graphs(tiny_dataset, tiny_split)
+        model = CTDNE(walk_length=8, seed=0)
+        rng = np.random.default_rng(0)
+        start = int(temporal.active_nodes()[0])
+        walk = model._temporal_walk(temporal, start, rng)
+        assert len(walk) >= 1
+        # Walks only move forward in time: verified implicitly by construction;
+        # here we check the walk stays within known nodes.
+        assert all(0 <= node < tiny_dataset.num_nodes for node in walk)
+
+    def test_static_node_classification_auc(self, tiny_dataset, tiny_split):
+        model = DeepWalk(seed=0).fit(tiny_dataset, tiny_split)
+        auc = evaluate_static_node_classification(model, tiny_dataset, tiny_split,
+                                                  epochs=5)
+        assert 0.0 <= auc <= 1.0
+
+    def test_unseen_nodes_score_near_half(self, tiny_dataset, tiny_split):
+        """Unseen nodes have zero embeddings, so their dot-product scores are 0.5."""
+        model = DeepWalk(seed=0).fit(tiny_dataset, tiny_split)
+        if len(tiny_split.unseen_eval_nodes) == 0:
+            pytest.skip("tiny dataset produced no unseen nodes")
+        unseen = tiny_split.unseen_eval_nodes[:3]
+        scores = model.score_pairs(unseen, unseen)
+        np.testing.assert_allclose(scores, 0.5, atol=1e-9)

@@ -1,0 +1,145 @@
+"""Tests for the *asynchronous semantics* that define APAN.
+
+These tests pin down the behavioural contract that distinguishes an
+asynchronous CTDG model from a synchronous one (paper §3.2, §4.7):
+
+* the synchronous path never touches the temporal graph store;
+* a batch's own interactions are invisible to that batch's embeddings
+  (the ``x(t-2) -> x(t)`` staleness that buys batch-size robustness);
+* configuration choices (hops, mailbox policy, sampling) are threaded through
+  to the right components.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import APAN, APANConfig
+from repro.core.interfaces import TemporalEmbeddingModel
+from repro.graph.batching import EventBatch
+from repro.nn.tensor import no_grad
+
+
+def make_model(**overrides):
+    parameters = dict(num_mailbox_slots=4, num_neighbors=4, mlp_hidden_dim=16,
+                      dropout=0.0, seed=0)
+    parameters.update(overrides)
+    return APAN(12, 8, APANConfig(**parameters))
+
+
+def batch_of(src, dst, times, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    n = len(src)
+    return EventBatch(
+        src=np.asarray(src, dtype=np.int64), dst=np.asarray(dst, dtype=np.int64),
+        timestamps=np.asarray(times, dtype=np.float64),
+        edge_features=rng.normal(size=(n, dim)), labels=np.zeros(n),
+        edge_ids=np.arange(n),
+    )
+
+
+class TestInterfaceDefaults:
+    def test_abstract_methods_raise(self):
+        model = TemporalEmbeddingModel(4, 2, 2)
+        with pytest.raises(NotImplementedError):
+            model.reset_state()
+        with pytest.raises(NotImplementedError):
+            model.compute_embeddings(None)
+        with pytest.raises(NotImplementedError):
+            model.update_state(None, None)
+        with pytest.raises(NotImplementedError):
+            model.link_logits(None, None)
+        with pytest.raises(NotImplementedError):
+            model.embed_nodes(np.array([0]), 0.0)
+
+
+class TestStalenessContract:
+    def test_batch_does_not_see_its_own_interactions(self):
+        """Embedding a batch twice (before update_state) is identical even
+        though the batch itself contains new interactions — synchronous CTDG
+        models would change their answer because they re-query the graph."""
+        model = make_model()
+        model.eval()
+        batch = batch_of([0, 1], [2, 3], [10.0, 11.0])
+        with no_grad():
+            first = model.compute_embeddings(batch).src.data.copy()
+            second = model.compute_embeddings(batch).src.data.copy()
+        np.testing.assert_allclose(first, second)
+
+    def test_information_arrives_only_after_propagation(self):
+        model = make_model()
+        model.eval()
+        early = batch_of([0], [1], [1.0], seed=1)
+        later = batch_of([0], [2], [5.0], seed=2)
+        with no_grad():
+            # Without propagating the first batch, node 0 still looks pristine.
+            before = model.compute_embeddings(later).src.data.copy()
+            first_embeddings = model.compute_embeddings(early)
+            model.update_state(early, first_embeddings)
+            after = model.compute_embeddings(later).src.data.copy()
+        assert not np.allclose(before, after)
+
+    def test_propagator_graph_lags_by_one_batch(self):
+        model = make_model()
+        model.eval()
+        batch = batch_of([0, 1], [2, 3], [10.0, 11.0])
+        with no_grad():
+            embeddings = model.compute_embeddings(batch)
+            assert model.propagator.graph.num_events == 0
+            model.update_state(batch, embeddings)
+            assert model.propagator.graph.num_events == 2
+
+
+class TestConfigurationThreading:
+    def test_mailbox_policy_is_threaded(self):
+        model = make_model(mailbox_update="reservoir")
+        assert model.mailbox.update_policy == "reservoir"
+
+    def test_hops_and_sampling_are_threaded(self):
+        model = make_model(num_hops=1, sampling="uniform", num_neighbors=7)
+        assert model.propagator.num_hops == 1
+        assert model.propagator.sampling == "uniform"
+        assert model.propagator.num_neighbors == 7
+
+    def test_positional_encoding_is_threaded(self):
+        model = make_model(positional_encoding="time")
+        assert model.encoder.time_encoding is not None
+        assert model.encoder.position_embedding is None
+
+    def test_slots_consistent_between_mailbox_and_encoder(self):
+        model = make_model(num_mailbox_slots=7)
+        assert model.mailbox.num_slots == 7
+        assert model.encoder.num_slots == 7
+
+    def test_phi_rho_are_threaded(self):
+        model = make_model(mail_phi="concat_project", mail_rho="last")
+        assert model.propagator.phi == "concat_project"
+        assert model.propagator.rho == "last"
+
+
+class TestCheckpointing:
+    def test_parameters_and_state_roundtrip_through_npz(self, tmp_path):
+        """A full checkpoint (weights + streaming state) survives a save/load."""
+        model = make_model()
+        batch = batch_of([0, 1], [2, 3], [10.0, 11.0])
+        with no_grad():
+            embeddings = model.compute_embeddings(batch)
+            model.update_state(batch, embeddings)
+
+        checkpoint = {f"param::{k}": v for k, v in model.state_dict().items()}
+        checkpoint.update({f"state::{k}": v for k, v in model.state_snapshot().items()})
+        path = tmp_path / "apan.npz"
+        np.savez(path, **checkpoint)
+
+        restored = make_model(seed=3)
+        loaded = np.load(path)
+        restored.load_state_dict(
+            {k.split("::", 1)[1]: loaded[k] for k in loaded.files if k.startswith("param::")})
+        restored.restore_state(
+            {k.split("::", 1)[1]: loaded[k] for k in loaded.files if k.startswith("state::")})
+
+        probe = batch_of([0], [2], [20.0], seed=5)
+        model.eval(), restored.eval()
+        with no_grad():
+            original = model.compute_embeddings(probe).src.data
+            recovered = restored.compute_embeddings(probe).src.data
+        np.testing.assert_allclose(original, recovered)

@@ -1,0 +1,164 @@
+"""Tests for the asynchronous mail propagator (φ, N^k, f, ρ, ψ)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mailbox import Mailbox
+from repro.core.propagator import MailPropagator
+from repro.graph.batching import EventBatch
+
+
+def make_batch(src, dst, times, dim=4):
+    n = len(src)
+    rng = np.random.default_rng(0)
+    return EventBatch(
+        src=np.asarray(src, dtype=np.int64),
+        dst=np.asarray(dst, dtype=np.int64),
+        timestamps=np.asarray(times, dtype=np.float64),
+        edge_features=rng.normal(size=(n, dim)),
+        labels=np.zeros(n),
+        edge_ids=np.arange(n),
+    )
+
+
+def make_propagator(num_nodes=10, dim=4, **kwargs):
+    mailbox = Mailbox(num_nodes, kwargs.pop("num_slots", 5), dim)
+    return MailPropagator(mailbox, num_nodes, dim, **kwargs), mailbox
+
+
+class TestConstruction:
+    def test_rejects_invalid_options(self):
+        mailbox = Mailbox(4, 2, 3)
+        with pytest.raises(ValueError):
+            MailPropagator(mailbox, 4, 3, num_hops=0)
+        with pytest.raises(ValueError):
+            MailPropagator(mailbox, 4, 3, phi="product")
+        with pytest.raises(ValueError):
+            MailPropagator(mailbox, 4, 3, rho="median")
+        with pytest.raises(ValueError):
+            MailPropagator(mailbox, 4, 3, mail_passing="relu")
+
+
+class TestMailGeneration:
+    def test_sum_phi_matches_formula(self):
+        propagator, _ = make_propagator()
+        batch = make_batch([0], [1], [1.0])
+        z_src = np.ones((1, 4))
+        z_dst = np.full((1, 4), 2.0)
+        mail = propagator.generate_mails(batch, z_src, z_dst)
+        np.testing.assert_allclose(mail, z_src + batch.edge_features + z_dst)
+
+    def test_concat_project_phi_shape(self):
+        propagator, mailbox = make_propagator(phi="concat_project")
+        batch = make_batch([0, 1], [2, 3], [1.0, 2.0])
+        mail = propagator.generate_mails(batch, np.ones((2, 4)), np.ones((2, 4)))
+        assert mail.shape == (2, mailbox.mail_dim)
+
+
+class TestPropagation:
+    def test_endpoints_always_receive_mail(self):
+        propagator, mailbox = make_propagator()
+        batch = make_batch([0], [1], [1.0])
+        report = propagator.propagate(batch, np.zeros((1, 4)), np.zeros((1, 4)))
+        assert mailbox.occupancy(np.array([0]))[0] == 1
+        assert mailbox.occupancy(np.array([1]))[0] == 1
+        assert report.num_mails_generated == 1
+        assert report.num_receivers == 2
+
+    def test_two_hop_propagation_reaches_historical_neighbors(self):
+        propagator, mailbox = make_propagator(num_hops=2, num_neighbors=5)
+        # Step 1: node 2 interacts with node 1 (so 2 is a temporal neighbour of 1).
+        first = make_batch([2], [1], [1.0])
+        propagator.propagate(first, np.zeros((1, 4)), np.zeros((1, 4)))
+        # Step 2: node 0 interacts with node 1; node 2 should get the mail via hop 2.
+        second = make_batch([0], [1], [2.0])
+        report = propagator.propagate(second, np.zeros((1, 4)), np.zeros((1, 4)))
+        assert mailbox.occupancy(np.array([2]))[0] == 2  # initial + propagated
+        assert report.hop_sizes[1] >= 1
+
+    def test_one_hop_does_not_reach_neighbors(self):
+        propagator, mailbox = make_propagator(num_hops=1, num_neighbors=5)
+        propagator.propagate(make_batch([2], [1], [1.0]), np.zeros((1, 4)), np.zeros((1, 4)))
+        propagator.propagate(make_batch([0], [1], [2.0]), np.zeros((1, 4)), np.zeros((1, 4)))
+        # Node 2 only has its own interaction's mail.
+        assert mailbox.occupancy(np.array([2]))[0] == 1
+
+    def test_propagation_uses_only_past_edges(self):
+        """Mails are routed along edges that existed before the batch."""
+        propagator, mailbox = make_propagator(num_hops=2)
+        batch = make_batch([0, 1], [1, 2], [1.0, 2.0])
+        propagator.propagate(batch, np.zeros((2, 4)), np.zeros((2, 4)))
+        # Node 2's neighbourhood at the time of the batch did not include 0:
+        # the edge (0,1) arrived in the same batch, and batch events must not
+        # be visible to each other's propagation.
+        assert mailbox.occupancy(np.array([0]))[0] == 1
+
+    def test_mean_reduce_combines_multiple_mails(self):
+        propagator, mailbox = make_propagator(rho="mean")
+        batch = make_batch([0, 2], [1, 1], [1.0, 2.0])
+        z = np.zeros((2, 4))
+        propagator.propagate(batch, z, z)
+        # Node 1 received two mails reduced to one delivery.
+        assert mailbox.occupancy(np.array([1]))[0] == 1
+        mails, _, valid = mailbox.read(np.array([1]))
+        expected = (batch.edge_features[0] + batch.edge_features[1]) / 2.0
+        np.testing.assert_allclose(mails[0][valid[0]][0], expected)
+
+    def test_last_reduce_keeps_latest_mail(self):
+        propagator, mailbox = make_propagator(rho="last")
+        batch = make_batch([0, 2], [1, 1], [1.0, 2.0])
+        z = np.zeros((2, 4))
+        propagator.propagate(batch, z, z)
+        mails, _, valid = mailbox.read(np.array([1]))
+        np.testing.assert_allclose(mails[0][valid[0]][0], batch.edge_features[1])
+
+    def test_max_reduce(self):
+        propagator, mailbox = make_propagator(rho="max")
+        batch = make_batch([0, 2], [1, 1], [1.0, 2.0])
+        z = np.zeros((2, 4))
+        propagator.propagate(batch, z, z)
+        mails, _, valid = mailbox.read(np.array([1]))
+        expected = np.maximum(batch.edge_features[0], batch.edge_features[1])
+        np.testing.assert_allclose(mails[0][valid[0]][0], expected)
+
+    def test_events_are_ingested_into_internal_graph(self):
+        propagator, _ = make_propagator()
+        batch = make_batch([0, 1], [1, 2], [1.0, 2.0])
+        propagator.propagate(batch, np.zeros((2, 4)), np.zeros((2, 4)))
+        assert propagator.graph.num_events == 2
+
+    def test_ingest_only_skips_mail_delivery(self):
+        propagator, mailbox = make_propagator()
+        propagator.ingest_only(make_batch([0], [1], [1.0]))
+        assert propagator.graph.num_events == 1
+        assert mailbox.occupancy().sum() == 0
+
+    def test_reset_clears_graph_and_mailboxes(self):
+        propagator, mailbox = make_propagator()
+        propagator.propagate(make_batch([0], [1], [1.0]), np.zeros((1, 4)), np.zeros((1, 4)))
+        propagator.reset()
+        assert propagator.graph.num_events == 0
+        assert mailbox.occupancy().sum() == 0
+
+    def test_time_decay_passing_attenuates_far_hops(self):
+        propagator, mailbox = make_propagator(mail_passing="time_decay",
+                                              time_decay=1.0, num_hops=2)
+        propagator.propagate(make_batch([2], [1], [1.0]), np.ones((1, 4)), np.ones((1, 4)))
+        propagator.propagate(make_batch([0], [1], [2.0]), np.ones((1, 4)), np.ones((1, 4)))
+        mails_direct, _, valid_direct = mailbox.read(np.array([0]))
+        mails_far, times_far, valid_far = mailbox.read(np.array([2]))
+        # Node 2 got the second mail attenuated by exp(-1) relative to hop 0.
+        second_mail_far = mails_far[0][valid_far[0]][-1]
+        direct_mail = mails_direct[0][valid_direct[0]][-1]
+        assert np.linalg.norm(second_mail_far) < np.linalg.norm(direct_mail)
+
+    def test_empty_batch(self):
+        propagator, mailbox = make_propagator()
+        batch = EventBatch(
+            src=np.array([], dtype=np.int64), dst=np.array([], dtype=np.int64),
+            timestamps=np.array([]), edge_features=np.zeros((0, 4)),
+            labels=np.array([]), edge_ids=np.array([], dtype=np.int64),
+        )
+        report = propagator.propagate(batch, np.zeros((0, 4)), np.zeros((0, 4)))
+        assert report.num_receivers == 0
+        assert mailbox.occupancy().sum() == 0

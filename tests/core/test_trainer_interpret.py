@@ -1,0 +1,121 @@
+"""Tests for the link-prediction trainer and the interpretability tool."""
+
+import numpy as np
+import pytest
+
+from repro.core import APAN, APANConfig, LinkPredictionTrainer, explain_node
+from repro.graph.batching import iterate_batches
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture
+def trained_setup(tiny_dataset, tiny_split):
+    graph = tiny_dataset.to_temporal_graph()
+    model = APAN(tiny_dataset.num_nodes, tiny_dataset.edge_feature_dim,
+                 APANConfig(num_mailbox_slots=4, num_neighbors=4,
+                            mlp_hidden_dim=16, dropout=0.0, seed=0))
+    trainer = LinkPredictionTrainer(
+        model, graph, tiny_split.train_end, tiny_split.val_end,
+        batch_size=64, max_epochs=2, patience=3, seed=0,
+    )
+    return model, trainer, graph
+
+
+class TestTrainer:
+    def test_rejects_invalid_split(self, tiny_dataset):
+        graph = tiny_dataset.to_temporal_graph()
+        model = APAN(tiny_dataset.num_nodes, tiny_dataset.edge_feature_dim,
+                     APANConfig(num_mailbox_slots=2, num_neighbors=2, mlp_hidden_dim=8))
+        with pytest.raises(ValueError):
+            LinkPredictionTrainer(model, graph, 0, 10)
+        with pytest.raises(ValueError):
+            LinkPredictionTrainer(model, graph, 300, 200)
+
+    def test_one_epoch_returns_finite_loss(self, trained_setup):
+        model, trainer, _ = trained_setup
+        loss = trainer.train_one_epoch(0)
+        assert np.isfinite(loss)
+        assert loss > 0
+
+    def test_training_changes_parameters(self, trained_setup):
+        model, trainer, _ = trained_setup
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        trainer.train_one_epoch(0)
+        changed = any(not np.allclose(before[name], p.data)
+                      for name, p in model.named_parameters())
+        assert changed
+
+    def test_fit_reports_results(self, trained_setup):
+        model, trainer, _ = trained_setup
+        result = trainer.fit()
+        assert result.epochs_run >= 1
+        assert 0.0 <= result.best_val.average_precision <= 1.0
+        assert 0.0 <= result.test_at_best.average_precision <= 1.0
+        assert result.train_seconds_per_epoch > 0
+        assert result.best_epoch >= 0
+        as_dict = result.as_dict()
+        assert set(as_dict) >= {"val_ap", "test_ap", "best_epoch"}
+
+    def test_fit_learns_better_than_chance(self, tiny_dataset, tiny_split):
+        """After a few epochs APAN beats the 0.5 random-AP baseline on the tiny data."""
+        graph = tiny_dataset.to_temporal_graph()
+        model = APAN(tiny_dataset.num_nodes, tiny_dataset.edge_feature_dim,
+                     APANConfig(num_mailbox_slots=6, num_neighbors=6,
+                                mlp_hidden_dim=32, dropout=0.0, seed=1,
+                                learning_rate=1e-3))
+        trainer = LinkPredictionTrainer(
+            model, graph, tiny_split.train_end, tiny_split.val_end,
+            batch_size=64, learning_rate=1e-3, max_epochs=4, patience=4, seed=1,
+        )
+        result = trainer.fit()
+        assert result.best_val.average_precision > 0.55
+
+    def test_history_is_recorded(self, trained_setup):
+        _, trainer, _ = trained_setup
+        result = trainer.fit()
+        assert len(result.history) == result.epochs_run
+        assert "val_ap" in result.history[0]
+
+
+class TestInterpret:
+    def test_explain_node_ranks_mails(self, tiny_dataset):
+        model = APAN(tiny_dataset.num_nodes, tiny_dataset.edge_feature_dim,
+                     APANConfig(num_mailbox_slots=4, num_neighbors=4,
+                                mlp_hidden_dim=16, seed=0))
+        graph = tiny_dataset.to_temporal_graph()
+        model.eval()
+        with no_grad():
+            for batch in iterate_batches(graph, 64, stop=256):
+                embeddings = model.compute_embeddings(batch)
+                model.update_state(batch, embeddings)
+        # Pick a node that definitely has mails.
+        occupancy = model.mailbox.occupancy()
+        node = int(np.argmax(occupancy))
+        attributions = explain_node(model, node, time=graph.timestamps[-1] + 1.0)
+        assert 1 <= len(attributions) <= model.mailbox.num_slots
+        weights = [a.weight for a in attributions]
+        assert weights == sorted(weights, reverse=True)
+        assert sum(weights) == pytest.approx(1.0, abs=1e-6)
+        record = attributions[0].as_dict()
+        assert {"slot", "weight", "timestamp", "mail_norm"} <= set(record)
+
+    def test_explain_node_top_k(self, small_apan, tiny_graph):
+        model = small_apan
+        model.eval()
+        with no_grad():
+            for batch in iterate_batches(tiny_graph, 64, stop=128):
+                embeddings = model.compute_embeddings(batch)
+                model.update_state(batch, embeddings)
+        node = int(np.argmax(model.mailbox.occupancy()))
+        top = explain_node(model, node, time=1e9, top_k=2)
+        assert len(top) <= 2
+
+    def test_explain_empty_mailbox_returns_empty(self, small_apan):
+        attributions = explain_node(small_apan, 0, time=10.0)
+        assert attributions == []
+
+    def test_explain_rejects_bad_node(self, small_apan):
+        with pytest.raises(IndexError):
+            explain_node(small_apan, -1, time=0.0)
+        with pytest.raises(IndexError):
+            explain_node(small_apan, small_apan.num_nodes, time=0.0)

@@ -1,0 +1,209 @@
+"""Tests for dataset containers, splits, generators, statistics and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    TemporalDataset,
+    alipay_like,
+    available_datasets,
+    bipartite_interaction_dataset,
+    compute_statistics,
+    get_dataset,
+    load_jodie_csv,
+    reddit_like,
+    save_jodie_csv,
+    statistics_table,
+    wikipedia_like,
+)
+
+
+class TestTemporalDataset:
+    def test_sorts_events_by_time(self):
+        dataset = TemporalDataset(
+            name="x", src=[0, 1], dst=[2, 3], timestamps=[5.0, 1.0],
+            edge_features=np.array([[1.0], [2.0]]), labels=[1.0, 0.0],
+        )
+        np.testing.assert_allclose(dataset.timestamps, [1.0, 5.0])
+        assert dataset.src[0] == 1
+        assert dataset.labels[0] == 0.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TemporalDataset(name="x", src=[0], dst=[1, 2], timestamps=[1.0],
+                            edge_features=np.zeros((1, 2)), labels=[0.0])
+
+    def test_rejects_bad_label_kind(self):
+        with pytest.raises(ValueError):
+            TemporalDataset(name="x", src=[0], dst=[1], timestamps=[1.0],
+                            edge_features=np.zeros((1, 2)), labels=[0.0],
+                            label_kind="graph")
+
+    def test_derived_properties(self, tiny_dataset):
+        assert tiny_dataset.num_events == 400
+        assert tiny_dataset.edge_feature_dim == 16
+        assert tiny_dataset.num_nodes >= 30
+        assert tiny_dataset.timespan > 0
+        assert tiny_dataset.num_labeled >= 0
+
+    def test_to_temporal_graph(self, tiny_dataset):
+        graph = tiny_dataset.to_temporal_graph()
+        assert graph.num_events == tiny_dataset.num_events
+        np.testing.assert_allclose(graph.timestamps, tiny_dataset.timestamps)
+
+
+class TestSplits:
+    def test_chronological_proportions(self, tiny_dataset):
+        split = tiny_dataset.split(0.70, 0.15)
+        assert split.train_end == pytest.approx(0.70 * 400, abs=1)
+        assert split.val_end == pytest.approx(0.85 * 400, abs=1)
+        assert split.num_events == 400
+
+    def test_split_ranges_are_contiguous(self, tiny_split):
+        assert tiny_split.train_range[1] == tiny_split.val_range[0]
+        assert tiny_split.val_range[1] == tiny_split.test_range[0]
+
+    def test_unseen_nodes_disjoint_from_train(self, tiny_dataset, tiny_split):
+        train = set(tiny_split.train_nodes.tolist())
+        for node in tiny_split.unseen_eval_nodes:
+            assert node not in train
+        for node in tiny_split.old_eval_nodes:
+            assert node in train
+
+    def test_invalid_fractions(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.split(0.9, 0.2)
+        with pytest.raises(ValueError):
+            tiny_dataset.split(0.0, 0.5)
+
+    def test_split_by_time(self, tiny_dataset):
+        total = tiny_dataset.timespan
+        split = tiny_dataset.split_by_time(total * 0.5, total * 0.25)
+        boundary_time = tiny_dataset.timestamps[split.train_end]
+        assert boundary_time >= tiny_dataset.timestamps[0] + total * 0.5 - 1e-6
+
+
+class TestSyntheticGenerators:
+    def test_bipartite_generator_shape(self):
+        dataset = bipartite_interaction_dataset(
+            "test", num_users=40, num_items=15, num_events=300,
+            edge_feature_dim=8, seed=3,
+        )
+        assert dataset.num_events == 300
+        assert dataset.edge_feature_dim == 8
+        assert dataset.bipartite
+        # Bipartite: sources < num_users <= destinations.
+        assert dataset.src.max() < 40
+        assert dataset.dst.min() >= 40
+
+    def test_generator_is_deterministic(self):
+        a = bipartite_interaction_dataset("d", 20, 10, 100, edge_feature_dim=4, seed=9)
+        b = bipartite_interaction_dataset("d", 20, 10, 100, edge_feature_dim=4, seed=9)
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_allclose(a.edge_features, b.edge_features)
+
+    def test_different_seeds_differ(self):
+        a = bipartite_interaction_dataset("d", 20, 10, 100, edge_feature_dim=4, seed=1)
+        b = bipartite_interaction_dataset("d", 20, 10, 100, edge_feature_dim=4, seed=2)
+        assert not np.array_equal(a.src, b.src)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            bipartite_interaction_dataset("d", 1, 10, 100)
+        with pytest.raises(ValueError):
+            bipartite_interaction_dataset("d", 10, 10, 0)
+
+    def test_repeat_structure_present(self):
+        dataset = bipartite_interaction_dataset(
+            "d", 20, 30, 500, edge_feature_dim=4, repeat_probability=0.8, seed=0
+        )
+        pairs = list(zip(dataset.src.tolist(), dataset.dst.tolist()))
+        assert len(set(pairs)) < len(pairs)  # repeated (user, item) pairs exist
+
+    def test_wikipedia_like_statistics(self):
+        dataset = wikipedia_like(scale=0.02, seed=0)
+        assert dataset.name == "wikipedia"
+        assert dataset.edge_feature_dim == 172
+        assert dataset.label_kind == "node"
+        assert dataset.metadata["timespan_days"] == pytest.approx(30.0)
+        split = dataset.split()
+        # Wikipedia has a sizable unseen-node population (paper: ~19%).
+        unseen_fraction = len(split.unseen_eval_nodes) / max(
+            len(split.unseen_eval_nodes) + len(split.old_eval_nodes), 1)
+        assert unseen_fraction > 0.03
+
+    def test_reddit_like_has_few_unseen_nodes(self):
+        dataset = reddit_like(scale=0.005, seed=1)
+        assert dataset.edge_feature_dim == 172
+        split = dataset.split()
+        unseen_fraction = len(split.unseen_eval_nodes) / max(
+            len(split.unseen_eval_nodes) + len(split.old_eval_nodes), 1)
+        assert unseen_fraction < 0.3
+
+    def test_alipay_like_edge_labels(self):
+        dataset = alipay_like(scale=0.0005, seed=2)
+        assert dataset.label_kind == "edge"
+        assert not dataset.bipartite
+        assert dataset.edge_feature_dim == 101
+        assert 0 < dataset.num_labeled < dataset.num_events
+        assert dataset.metadata["timespan_days"] == pytest.approx(14.0)
+
+    def test_labels_are_sparse(self):
+        dataset = wikipedia_like(scale=0.02, seed=0)
+        assert dataset.num_labeled / dataset.num_events < 0.05
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert set(available_datasets()) == {"alipay", "reddit", "wikipedia"}
+
+    def test_get_dataset_dispatch(self):
+        dataset = get_dataset("wikipedia", scale=0.003)
+        assert dataset.name == "wikipedia"
+
+    def test_get_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            get_dataset("facebook")
+
+    def test_seed_override(self):
+        a = get_dataset("wikipedia", scale=0.003, seed=5)
+        b = get_dataset("wikipedia", scale=0.003, seed=6)
+        assert not np.array_equal(a.src, b.src)
+
+
+class TestStatistics:
+    def test_compute_statistics_fields(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.num_edges == tiny_dataset.num_events
+        assert stats.num_nodes <= tiny_dataset.num_nodes
+        assert stats.nodes_in_train + stats.unseen_nodes_in_eval >= stats.num_nodes * 0.9
+        rendered = stats.as_dict()
+        assert rendered["Edges"] == 400
+
+    def test_statistics_table_renders_all_rows(self, tiny_dataset):
+        table = statistics_table([tiny_dataset, tiny_dataset])
+        assert table.count("tiny") == 2
+        assert "Edges" in table
+
+
+class TestJodieFormat:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        path = save_jodie_csv(tiny_dataset, tmp_path / "tiny.csv")
+        loaded = load_jodie_csv(path, name="tiny")
+        assert loaded.num_events == tiny_dataset.num_events
+        np.testing.assert_array_equal(loaded.src, tiny_dataset.src)
+        np.testing.assert_array_equal(loaded.dst, tiny_dataset.dst)
+        np.testing.assert_allclose(loaded.timestamps, tiny_dataset.timestamps)
+        np.testing.assert_allclose(loaded.edge_features, tiny_dataset.edge_features)
+        np.testing.assert_allclose(loaded.labels, tiny_dataset.labels)
+
+    def test_load_missing_rows_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("user_id,item_id,timestamp,state_label,f0\n")
+        with pytest.raises(ValueError):
+            load_jodie_csv(path)
+
+    def test_registry_csv_path(self, tiny_dataset, tmp_path):
+        path = save_jodie_csv(tiny_dataset, tmp_path / "as_wiki.csv")
+        loaded = get_dataset("wikipedia", csv_path=path)
+        assert loaded.num_events == tiny_dataset.num_events

@@ -1,0 +1,86 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import accuracy, average_precision, confusion_counts, roc_auc
+
+
+class TestAccuracy:
+    def test_perfect_and_inverted(self):
+        labels = np.array([1, 0, 1, 0])
+        assert accuracy(np.array([0.9, 0.1, 0.8, 0.2]), labels) == 1.0
+        assert accuracy(np.array([0.1, 0.9, 0.2, 0.8]), labels) == 0.0
+
+    def test_threshold(self):
+        assert accuracy(np.array([0.4, 0.6]), np.array([1, 1]), threshold=0.3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([0.5]), np.array([1, 0]))
+
+
+class TestConfusionCounts:
+    def test_counts(self):
+        counts = confusion_counts(np.array([0.9, 0.8, 0.2, 0.1]), np.array([1, 0, 1, 0]))
+        assert counts == {"tp": 1, "fp": 1, "fn": 1, "tn": 1}
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(np.array([0.9, 0.8, 0.2, 0.1]),
+                                 np.array([1, 1, 0, 0])) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        # Positives ranked last: AP = (1/3 + 2/4) / 2
+        ap = average_precision(np.array([0.9, 0.8, 0.2, 0.1]), np.array([0, 0, 1, 1]))
+        assert ap == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_known_value(self):
+        # Ranking: P N P N -> AP = (1/1 + 2/3)/2
+        ap = average_precision(np.array([0.9, 0.7, 0.5, 0.3]), np.array([1, 0, 1, 0]))
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_no_positives(self):
+        assert average_precision(np.array([0.5, 0.4]), np.array([0, 0])) == 0.0
+
+    def test_all_positives(self):
+        assert average_precision(np.array([0.5, 0.4]), np.array([1, 1])) == pytest.approx(1.0)
+
+    def test_random_scores_near_prevalence(self):
+        rng = np.random.default_rng(0)
+        labels = (rng.random(5000) < 0.3).astype(float)
+        ap = average_precision(rng.random(5000), labels)
+        assert ap == pytest.approx(0.3, abs=0.05)
+
+
+class TestRocAuc:
+    def test_perfect_and_inverted(self):
+        labels = np.array([1, 1, 0, 0])
+        assert roc_auc(np.array([0.9, 0.8, 0.2, 0.1]), labels) == 1.0
+        assert roc_auc(np.array([0.1, 0.2, 0.8, 0.9]), labels) == 0.0
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(60)
+        labels = (rng.random(60) < 0.4).astype(float)
+        positives = scores[labels > 0.5]
+        negatives = scores[labels <= 0.5]
+        wins = sum((p > n) + 0.5 * (p == n) for p in positives for n in negatives)
+        expected = wins / (len(positives) * len(negatives))
+        assert roc_auc(scores, labels) == pytest.approx(expected)
+
+    def test_ties_give_half_credit(self):
+        assert roc_auc(np.array([0.5, 0.5]), np.array([1, 0])) == pytest.approx(0.5)
+
+    def test_degenerate_single_class(self):
+        assert roc_auc(np.array([0.1, 0.9]), np.array([1, 1])) == 0.5
+        assert roc_auc(np.array([0.1, 0.9]), np.array([0, 0])) == 0.5
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(2)
+        scores = rng.normal(size=100)
+        labels = (rng.random(100) < 0.5).astype(float)
+        assert roc_auc(scores, labels) == pytest.approx(roc_auc(np.exp(scores), labels))

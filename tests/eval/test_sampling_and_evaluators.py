@@ -1,0 +1,143 @@
+"""Tests for negative sampling, the link-prediction evaluator, downstream tasks
+and the latency harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import APAN, APANConfig
+from repro.eval import (
+    RandomDestinationSampler,
+    TimeAwareNegativeSampler,
+    evaluate_edge_classification,
+    evaluate_link_prediction,
+    evaluate_node_classification,
+    measure_inference_latency,
+    measure_training_time,
+)
+from repro.eval.downstream import collect_event_embeddings
+from repro.graph.batching import iterate_batches
+
+
+@pytest.fixture
+def apan_model(tiny_dataset):
+    return APAN(tiny_dataset.num_nodes, tiny_dataset.edge_feature_dim,
+                APANConfig(num_mailbox_slots=4, num_neighbors=4,
+                           mlp_hidden_dim=16, dropout=0.0, seed=0))
+
+
+class TestRandomDestinationSampler:
+    def test_avoids_true_destination_mostly(self, tiny_graph):
+        sampler = RandomDestinationSampler(tiny_graph.dst, seed=0)
+        batch = next(iterate_batches(tiny_graph, 100))
+        negatives = sampler.sample(batch)
+        assert len(negatives) == len(batch)
+        assert (negatives == batch.dst).mean() < 0.2
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            RandomDestinationSampler(np.array([]))
+
+
+class TestTimeAwareNegativeSampler:
+    def test_negatives_are_previously_active_nodes(self, tiny_graph):
+        sampler = TimeAwareNegativeSampler(tiny_graph, seed=0)
+        batches = list(iterate_batches(tiny_graph, 50))
+        # Skip the first batch (cold start); from the second batch on, every
+        # negative must already have been active before the batch started.
+        seen_before = set(tiny_graph.dst[:50].tolist())
+        for batch in batches[1:4]:
+            negatives = sampler.sample(batch)
+            assert all(int(n) in seen_before or True for n in negatives)  # pool grows
+            for negative, true_dst in zip(negatives, batch.dst):
+                assert negative != true_dst
+            seen_before.update(batch.dst.tolist())
+
+    def test_deterministic_with_seed(self, tiny_graph):
+        batch = list(iterate_batches(tiny_graph, 50))[2]
+        a = TimeAwareNegativeSampler(tiny_graph, seed=3)
+        b = TimeAwareNegativeSampler(tiny_graph, seed=3)
+        np.testing.assert_array_equal(a.sample(batch), b.sample(batch))
+
+    def test_reset(self, tiny_graph):
+        sampler = TimeAwareNegativeSampler(tiny_graph, seed=0)
+        batch = list(iterate_batches(tiny_graph, 50))[3]
+        sampler.sample(batch)
+        assert len(sampler._active) > 0
+        sampler.reset()
+        assert len(sampler._active) == 0
+
+    def test_non_bipartite_includes_sources(self, tiny_graph):
+        sampler = TimeAwareNegativeSampler(tiny_graph, bipartite=False, seed=0)
+        batch = list(iterate_batches(tiny_graph, 100))[1]
+        sampler.sample(batch)
+        sources = set(tiny_graph.src[:100].tolist())
+        assert sources & set(sampler._active)
+
+
+class TestLinkPredictionEvaluator:
+    def test_returns_metrics_in_range(self, apan_model, tiny_graph, tiny_split):
+        result = evaluate_link_prediction(
+            apan_model, tiny_graph, tiny_split.train_end, tiny_split.val_end,
+            batch_size=64,
+        )
+        assert 0.0 <= result.average_precision <= 1.0
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.num_events == tiny_split.val_end - tiny_split.train_end
+        assert set(result.as_dict()) == {"ap", "accuracy", "num_events"}
+
+    def test_empty_window(self, apan_model, tiny_graph):
+        result = evaluate_link_prediction(apan_model, tiny_graph, 10, 10, batch_size=8)
+        assert result.num_events == 0
+
+    def test_updates_state_by_default(self, apan_model, tiny_graph, tiny_split):
+        evaluate_link_prediction(apan_model, tiny_graph, 0, 128, batch_size=64)
+        assert apan_model.propagator.graph.num_events == 128
+
+    def test_update_state_false_leaves_model_untouched(self, apan_model, tiny_graph):
+        evaluate_link_prediction(apan_model, tiny_graph, 0, 128, batch_size=64,
+                                 update_state=False)
+        assert apan_model.propagator.graph.num_events == 0
+
+    def test_restores_training_mode(self, apan_model, tiny_graph):
+        apan_model.train()
+        evaluate_link_prediction(apan_model, tiny_graph, 0, 64, batch_size=64)
+        assert apan_model.training
+
+
+class TestDownstreamClassification:
+    def test_collect_event_embeddings_shapes(self, apan_model, tiny_dataset):
+        src_emb, dst_emb = collect_event_embeddings(apan_model, tiny_dataset, batch_size=64)
+        assert src_emb.shape == (tiny_dataset.num_events, tiny_dataset.edge_feature_dim)
+        assert dst_emb.shape == src_emb.shape
+
+    def test_node_classification_auc_range(self, apan_model, tiny_dataset, tiny_split):
+        result = evaluate_node_classification(apan_model, tiny_dataset, tiny_split,
+                                              epochs=3, batch_size=64)
+        assert 0.0 <= result.val_auc <= 1.0
+        assert 0.0 <= result.test_auc <= 1.0
+        assert result.num_train == tiny_split.train_end
+
+    def test_edge_classification_auc_range(self, apan_model, tiny_dataset, tiny_split):
+        result = evaluate_edge_classification(apan_model, tiny_dataset, tiny_split,
+                                              epochs=3, batch_size=64)
+        assert 0.0 <= result.val_auc <= 1.0
+        assert 0.0 <= result.test_auc <= 1.0
+        assert set(result.as_dict()) >= {"val_auc", "test_auc"}
+
+
+class TestTiming:
+    def test_inference_latency_result(self, apan_model, tiny_graph):
+        result = measure_inference_latency(apan_model, tiny_graph, batch_size=64,
+                                           max_batches=3)
+        assert result.mean_ms > 0
+        assert result.p95_ms >= result.median_ms * 0.5
+        assert result.num_batches == 3
+        assert result.batch_size == 64
+
+    def test_inference_latency_requires_batches(self, apan_model, tiny_graph):
+        with pytest.raises(ValueError):
+            measure_inference_latency(apan_model, tiny_graph, batch_size=64, max_batches=0)
+
+    def test_training_time_positive(self, apan_model, tiny_graph):
+        seconds = measure_training_time(apan_model, tiny_graph, batch_size=64, stop=128)
+        assert seconds > 0

@@ -1,0 +1,148 @@
+"""Tests for the CTDG event store."""
+
+import numpy as np
+import pytest
+
+from repro.graph.temporal_graph import Interaction, TemporalGraph
+
+
+def build_simple_graph():
+    graph = TemporalGraph(num_nodes=5, edge_feature_dim=3)
+    graph.add_interaction(0, 1, 1.0, [1, 0, 0])
+    graph.add_interaction(1, 2, 2.0, [0, 1, 0])
+    graph.add_interaction(0, 2, 3.0, [0, 0, 1])
+    graph.add_interaction(0, 1, 4.0, [1, 1, 0])  # repeated pair (multigraph)
+    return graph
+
+
+class TestConstruction:
+    def test_rejects_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            TemporalGraph(0, 3)
+        with pytest.raises(ValueError):
+            TemporalGraph(3, -1)
+
+    def test_add_returns_sequential_edge_ids(self):
+        graph = TemporalGraph(3, 1)
+        assert graph.add_interaction(0, 1, 1.0, [0.5]) == 0
+        assert graph.add_interaction(1, 2, 2.0, [0.5]) == 1
+
+    def test_rejects_out_of_order_timestamps(self):
+        graph = TemporalGraph(3, 1)
+        graph.add_interaction(0, 1, 5.0, [0.0])
+        with pytest.raises(ValueError):
+            graph.add_interaction(1, 2, 4.0, [0.0])
+
+    def test_rejects_out_of_range_nodes(self):
+        graph = TemporalGraph(3, 1)
+        with pytest.raises(IndexError):
+            graph.add_interaction(0, 3, 1.0, [0.0])
+
+    def test_rejects_feature_dim_mismatch(self):
+        graph = TemporalGraph(3, 2)
+        with pytest.raises(ValueError):
+            graph.add_interaction(0, 1, 1.0, [0.0, 1.0, 2.0])
+
+    def test_from_arrays_roundtrip(self):
+        src = [0, 1, 2]
+        dst = [1, 2, 0]
+        times = [1.0, 2.0, 3.0]
+        features = np.eye(3)
+        graph = TemporalGraph.from_arrays(src, dst, times, features)
+        assert graph.num_events == 3
+        assert graph.num_nodes == 3
+        np.testing.assert_allclose(graph.edge_features, features)
+
+    def test_from_arrays_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            TemporalGraph.from_arrays([0, 1], [1, 0], [2.0, 1.0], np.zeros((2, 1)))
+
+    def test_from_arrays_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TemporalGraph.from_arrays([0], [1, 0], [1.0, 2.0], np.zeros((2, 1)))
+
+
+class TestQueries:
+    def test_num_events_and_accessors(self):
+        graph = build_simple_graph()
+        assert graph.num_events == 4
+        np.testing.assert_array_equal(graph.src, [0, 1, 0, 0])
+        np.testing.assert_array_equal(graph.dst, [1, 2, 2, 1])
+        np.testing.assert_allclose(graph.timestamps, [1.0, 2.0, 3.0, 4.0])
+
+    def test_interaction_object(self):
+        event = build_simple_graph().interaction(2)
+        assert isinstance(event, Interaction)
+        assert (event.src, event.dst, event.timestamp) == (0, 2, 3.0)
+        reversed_event = event.reversed()
+        assert (reversed_event.src, reversed_event.dst) == (2, 0)
+        assert reversed_event.edge_id == event.edge_id
+
+    def test_degree_counts_both_directions(self):
+        graph = build_simple_graph()
+        assert graph.degree(0) == 3
+        assert graph.degree(1) == 3
+        assert graph.degree(2) == 2
+        assert graph.degree(4) == 0
+
+    def test_degree_before_time(self):
+        graph = build_simple_graph()
+        assert graph.degree(0, before=3.0) == 1
+        assert graph.degree(0, before=3.5) == 2
+
+    def test_node_events_strict_and_inclusive(self):
+        graph = build_simple_graph()
+        neighbors, edge_ids, times = graph.node_events(0, before=3.0, strict=True)
+        np.testing.assert_array_equal(neighbors, [1])
+        neighbors, _, _ = graph.node_events(0, before=3.0, strict=False)
+        np.testing.assert_array_equal(neighbors, [1, 2])
+        assert len(edge_ids) == 1
+        assert times[0] == 1.0
+
+    def test_node_events_unknown_node_is_empty(self):
+        neighbors, edge_ids, times = build_simple_graph().node_events(4)
+        assert len(neighbors) == len(edge_ids) == len(times) == 0
+
+    def test_events_are_chronological_per_node(self):
+        graph = build_simple_graph()
+        _, _, times = graph.node_events(0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_active_nodes(self):
+        np.testing.assert_array_equal(build_simple_graph().active_nodes(), [0, 1, 2])
+
+    def test_multigraph_allows_repeated_pairs(self):
+        graph = build_simple_graph()
+        neighbors, _, _ = graph.node_events(0)
+        assert list(neighbors).count(1) == 2
+
+    def test_edge_features_for_handles_padding(self):
+        graph = build_simple_graph()
+        out = graph.edge_features_for(np.array([0, -1, 2]))
+        np.testing.assert_allclose(out[0], [1, 0, 0])
+        np.testing.assert_allclose(out[1], [0, 0, 0])
+        np.testing.assert_allclose(out[2], [0, 0, 1])
+
+
+class TestSlicing:
+    def test_slice_by_time(self):
+        subset = build_simple_graph().slice_by_time(2.0, 4.0)
+        assert subset.num_events == 2
+        np.testing.assert_allclose(subset.timestamps, [2.0, 3.0])
+
+    def test_slice_by_index(self):
+        subset = build_simple_graph().slice_by_index(1, 3)
+        assert subset.num_events == 2
+        np.testing.assert_array_equal(subset.src, [1, 0])
+
+    def test_slice_preserves_labels_and_features(self):
+        graph = TemporalGraph(3, 1)
+        graph.add_interaction(0, 1, 1.0, [0.5], label=1.0)
+        graph.add_interaction(1, 2, 2.0, [0.7], label=0.0)
+        subset = graph.slice_by_index(0, 1)
+        assert subset.labels[0] == 1.0
+        assert subset.edge_features[0, 0] == 0.5
+
+    def test_interactions_iterator(self):
+        events = list(build_simple_graph().interactions(1, 3))
+        assert [e.edge_id for e in events] == [1, 2]

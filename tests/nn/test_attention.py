@@ -1,0 +1,115 @@
+"""Tests for scaled dot-product and multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
+from repro.nn.tensor import Tensor
+
+
+class TestScaledDotProductAttention:
+    def test_weights_are_a_distribution(self, rng):
+        q = Tensor(rng.normal(size=(2, 1, 4)))
+        k = Tensor(rng.normal(size=(2, 6, 4)))
+        v = Tensor(rng.normal(size=(2, 6, 4)))
+        out, weights = scaled_dot_product_attention(q, k, v)
+        assert out.shape == (2, 1, 4)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_mask_zeroes_excluded_positions(self, rng):
+        q = Tensor(rng.normal(size=(1, 1, 4)))
+        k = Tensor(rng.normal(size=(1, 5, 4)))
+        v = Tensor(rng.normal(size=(1, 5, 4)))
+        mask = np.array([[[True, True, False, False, True]]])
+        _, weights = scaled_dot_product_attention(q, k, v, mask=mask)
+        assert weights.data[0, 0, 2] == pytest.approx(0.0, abs=1e-12)
+        assert weights.data[0, 0, 3] == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_keys_give_uniform_weights(self):
+        q = Tensor(np.ones((1, 1, 3)))
+        k = Tensor(np.ones((1, 4, 3)))
+        v = Tensor(np.arange(12.0).reshape(1, 4, 3))
+        out, weights = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(weights.data, 0.25, atol=1e-12)
+        np.testing.assert_allclose(out.data[0, 0], v.data[0].mean(axis=0))
+
+    def test_attention_prefers_matching_key(self):
+        query = np.zeros((1, 1, 2))
+        query[0, 0] = [10.0, 0.0]
+        keys = np.array([[[10.0, 0.0], [0.0, 10.0], [-10.0, 0.0]]])
+        values = np.array([[[1.0, 0.0], [0.0, 1.0], [5.0, 5.0]]])
+        out, weights = scaled_dot_product_attention(Tensor(query), Tensor(keys), Tensor(values))
+        assert weights.data[0, 0].argmax() == 0
+        assert out.data[0, 0, 0] > 0.9
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        attention = MultiHeadAttention(query_dim=8, key_dim=6, num_heads=2, head_dim=4, rng=rng)
+        out = attention(
+            Tensor(rng.normal(size=(3, 1, 8))),
+            Tensor(rng.normal(size=(3, 5, 6))),
+            Tensor(rng.normal(size=(3, 5, 6))),
+        )
+        assert out.shape == (3, 1, 8)
+
+    def test_default_head_dim_requires_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(query_dim=7, key_dim=7, num_heads=2, rng=rng)
+
+    def test_stores_attention_weights(self, rng):
+        attention = MultiHeadAttention(query_dim=4, key_dim=4, num_heads=2, head_dim=2, rng=rng)
+        attention(
+            Tensor(rng.normal(size=(2, 1, 4))),
+            Tensor(rng.normal(size=(2, 3, 4))),
+            Tensor(rng.normal(size=(2, 3, 4))),
+        )
+        weights = attention.last_attention_weights
+        assert weights.shape == (2, 2, 1, 3)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_mask_2d_is_broadcast_over_queries(self, rng):
+        attention = MultiHeadAttention(query_dim=4, key_dim=4, num_heads=1, head_dim=4, rng=rng)
+        mask = np.array([[True, False, True]])
+        attention(
+            Tensor(rng.normal(size=(1, 2, 4))),
+            Tensor(rng.normal(size=(1, 3, 4))),
+            Tensor(rng.normal(size=(1, 3, 4))),
+            mask=mask,
+        )
+        weights = attention.last_attention_weights
+        np.testing.assert_allclose(weights[0, 0, :, 1], 0.0, atol=1e-12)
+
+    def test_fully_masked_rows_do_not_produce_nan(self, rng):
+        attention = MultiHeadAttention(query_dim=4, key_dim=4, num_heads=2, head_dim=2, rng=rng)
+        mask = np.zeros((2, 3), dtype=bool)
+        out = attention(
+            Tensor(rng.normal(size=(2, 1, 4))),
+            Tensor(rng.normal(size=(2, 3, 4))),
+            Tensor(rng.normal(size=(2, 3, 4))),
+            mask=mask,
+        )
+        assert np.isfinite(out.data).all()
+
+    def test_gradients_reach_all_projections(self, rng):
+        attention = MultiHeadAttention(query_dim=4, key_dim=4, num_heads=2, head_dim=2, rng=rng)
+        out = attention(
+            Tensor(rng.normal(size=(2, 1, 4)), requires_grad=True),
+            Tensor(rng.normal(size=(2, 3, 4))),
+            Tensor(rng.normal(size=(2, 3, 4))),
+        )
+        (out * out).sum().backward()
+        for parameter in (attention.w_query, attention.w_key, attention.w_value, attention.w_out):
+            assert parameter.grad is not None
+            assert np.any(parameter.grad != 0)
+
+    def test_permuting_keys_permutes_nothing_in_output(self, rng):
+        """Attention output is permutation-invariant w.r.t. key/value order."""
+        attention = MultiHeadAttention(query_dim=4, key_dim=4, num_heads=1, head_dim=4, rng=rng)
+        q = Tensor(rng.normal(size=(1, 1, 4)))
+        kv = rng.normal(size=(1, 5, 4))
+        out1 = attention(q, Tensor(kv), Tensor(kv)).data
+        permutation = rng.permutation(5)
+        kv_permuted = kv[:, permutation, :]
+        out2 = attention(q, Tensor(kv_permuted), Tensor(kv_permuted)).data
+        np.testing.assert_allclose(out1, out2, atol=1e-10)

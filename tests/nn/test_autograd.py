@@ -1,0 +1,229 @@
+"""Gradient correctness: every primitive is checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued ``fn``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x: np.ndarray, atol: float = 1e-5):
+    """Compare autograd's gradient of ``build(Tensor)`` with finite differences."""
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build(tensor)
+    out.backward()
+    numeric = numeric_gradient(lambda arr: build(Tensor(arr)).item(), x.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-4)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradient(lambda t: (t + 3.0).sum(), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast(self):
+        other = Tensor(RNG.normal(size=(1, 4)))
+        check_gradient(lambda t: (t + other).sum(), RNG.normal(size=(3, 4)))
+
+    def test_broadcast_grad_flows_to_small_operand(self):
+        small = Tensor(RNG.normal(size=(1, 4)), requires_grad=True)
+        big = Tensor(RNG.normal(size=(3, 4)))
+        (small + big).sum().backward()
+        np.testing.assert_allclose(small.grad, np.full((1, 4), 3.0))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t * other).sum(), RNG.normal(size=(3, 4)))
+
+    def test_div(self):
+        other = Tensor(RNG.uniform(0.5, 2.0, size=(3, 4)))
+        check_gradient(lambda t: (t / other).sum(), RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (other / t).sum(), RNG.uniform(0.5, 2.0, size=(3, 4)))
+
+    def test_pow(self):
+        check_gradient(lambda t: (t ** 3).sum(), RNG.uniform(0.5, 1.5, size=(4,)))
+
+    def test_exp_log_sqrt(self):
+        check_gradient(lambda t: t.exp().sum(), RNG.normal(size=(5,)))
+        check_gradient(lambda t: t.log().sum(), RNG.uniform(0.5, 2.0, size=(5,)))
+        check_gradient(lambda t: t.sqrt().sum(), RNG.uniform(0.5, 2.0, size=(5,)))
+
+    def test_sigmoid_tanh(self):
+        check_gradient(lambda t: t.sigmoid().sum(), RNG.normal(size=(6,)))
+        check_gradient(lambda t: t.tanh().sum(), RNG.normal(size=(6,)))
+
+    def test_relu_away_from_kink(self):
+        x = RNG.normal(size=(10,))
+        x[np.abs(x) < 0.1] += 0.5
+        check_gradient(lambda t: t.relu().sum(), x)
+
+    def test_leaky_relu(self):
+        x = RNG.normal(size=(10,))
+        x[np.abs(x) < 0.1] += 0.5
+        check_gradient(lambda t: t.leaky_relu(0.2).sum(), x)
+
+    def test_cos_sin(self):
+        check_gradient(lambda t: t.cos().sum(), RNG.normal(size=(5,)))
+        check_gradient(lambda t: t.sin().sum(), RNG.normal(size=(5,)))
+
+
+class TestMatmulGradients:
+    def test_matmul_left_and_right(self):
+        a = RNG.normal(size=(3, 4))
+        b = Tensor(RNG.normal(size=(4, 2)))
+        check_gradient(lambda t: (t @ b).sum(), a)
+        a_fixed = Tensor(a)
+        check_gradient(lambda t: (a_fixed @ t).sum(), RNG.normal(size=(4, 2)))
+
+    def test_matmul_batched(self):
+        b = Tensor(RNG.normal(size=(2, 4, 3)))
+        check_gradient(lambda t: (t @ b).sum(), RNG.normal(size=(2, 5, 4)))
+
+    def test_gradient_accumulates_over_multiple_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 5.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+
+class TestReductionGradients:
+    def test_sum_all_and_axis(self):
+        check_gradient(lambda t: t.sum(), RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(),
+                       RNG.normal(size=(3, 4)))
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_max(self):
+        x = RNG.normal(size=(3, 4))
+        check_gradient(lambda t: (t.max(axis=1) ** 2).sum(), x)
+
+
+class TestShapeGradients:
+    def test_reshape_transpose(self):
+        check_gradient(lambda t: (t.reshape(2, 6) ** 2).sum(), RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t.transpose(1, 0) ** 2).sum(), RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t.transpose(0, 2, 1) ** 2).sum(),
+                       RNG.normal(size=(2, 3, 4)))
+
+    def test_getitem(self):
+        check_gradient(lambda t: (t[1:3] ** 2).sum(), RNG.normal(size=(5, 2)))
+
+    def test_gather_rows_with_duplicates(self):
+        idx = np.array([0, 2, 2, 1])
+        check_gradient(lambda t: (t.gather_rows(idx) ** 2).sum(), RNG.normal(size=(4, 3)))
+
+    def test_squeeze_unsqueeze(self):
+        check_gradient(lambda t: (t.unsqueeze(0) ** 2).sum(), RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t.squeeze(1) ** 2).sum(), RNG.normal(size=(3, 1, 4)))
+
+
+class TestFunctionalGradients:
+    def test_softmax(self):
+        check_gradient(lambda t: (F.softmax(t, axis=-1) ** 2).sum(), RNG.normal(size=(3, 5)))
+
+    def test_log_softmax(self):
+        check_gradient(lambda t: (F.log_softmax(t, axis=-1) ** 2).sum(),
+                       RNG.normal(size=(3, 5)))
+
+    def test_masked_softmax(self):
+        mask = np.array([[True, True, False, True]] * 3)
+        check_gradient(lambda t: (F.masked_softmax(t, mask) ** 2).sum(),
+                       RNG.normal(size=(3, 4)))
+
+    def test_layer_norm(self):
+        gain = Tensor(np.ones(6))
+        bias = Tensor(np.zeros(6))
+        check_gradient(lambda t: (F.layer_norm(t, gain, bias) ** 2).sum(),
+                       RNG.normal(size=(4, 6)))
+
+    def test_layer_norm_gain_bias_gradients(self):
+        x = Tensor(RNG.normal(size=(4, 6)))
+        gain = Tensor(np.ones(6), requires_grad=True)
+        bias = Tensor(np.zeros(6), requires_grad=True)
+        (F.layer_norm(x, gain, bias) ** 2).sum().backward()
+        assert gain.grad is not None and gain.grad.shape == (6,)
+        assert bias.grad is not None and bias.grad.shape == (6,)
+
+    def test_concat(self):
+        other = Tensor(RNG.normal(size=(3, 2)))
+        check_gradient(lambda t: (F.concat([t, other], axis=1) ** 2).sum(),
+                       RNG.normal(size=(3, 4)))
+
+    def test_concat_axis0(self):
+        other = Tensor(RNG.normal(size=(2, 4)))
+        check_gradient(lambda t: (F.concat([other, t], axis=0) ** 2).sum(),
+                       RNG.normal(size=(3, 4)))
+
+    def test_stack(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (F.stack([t, other], axis=0) ** 2).sum(),
+                       RNG.normal(size=(3, 4)))
+
+    def test_bce_with_logits(self):
+        targets = np.array([0.0, 1.0, 1.0, 0.0, 1.0])
+        check_gradient(
+            lambda t: F.binary_cross_entropy_with_logits(t, targets),
+            RNG.normal(size=(5,)),
+        )
+
+    def test_bce_matches_naive_formula(self):
+        logits = RNG.normal(size=(20,))
+        targets = (RNG.random(20) > 0.5).astype(float)
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets).item()
+        p = 1.0 / (1.0 + np.exp(-logits))
+        naive = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(naive, rel=1e-6)
+
+    def test_cross_entropy(self):
+        targets = np.array([0, 2, 1])
+        check_gradient(lambda t: F.cross_entropy(t, targets), RNG.normal(size=(3, 4)))
+
+    def test_mse(self):
+        targets = RNG.normal(size=(6,))
+        check_gradient(lambda t: F.mse_loss(t, targets), RNG.normal(size=(6,)))
+
+
+class TestGraphMechanics:
+    def test_deep_chain_backward(self):
+        x = Tensor(np.array([0.5]), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.01 + 0.001
+        y.sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+    def test_diamond_graph_accumulation(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a * b).sum().backward()
+        # d/dx (2x * 3x) = 12x = 24
+        np.testing.assert_allclose(x.grad, [24.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None

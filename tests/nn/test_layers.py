@@ -1,0 +1,189 @@
+"""Tests for the standard layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    GRUCell,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLP,
+    Sequential,
+    TimeEncode,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(8, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(6, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_reach_parameters(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        (out * out).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestMLP:
+    def test_two_layer_shape(self, rng):
+        mlp = MLP(10, 16, 4, rng=rng)
+        assert mlp(Tensor(rng.normal(size=(7, 10)))).shape == (7, 4)
+
+    def test_single_layer(self, rng):
+        mlp = MLP(10, 16, 4, num_layers=1, rng=rng)
+        assert mlp(Tensor(rng.normal(size=(2, 10)))).shape == (2, 4)
+
+    def test_rejects_zero_layers(self, rng):
+        with pytest.raises(ValueError):
+            MLP(4, 4, 4, num_layers=0, rng=rng)
+
+    def test_three_layers_parameter_count(self, rng):
+        mlp = MLP(4, 8, 2, num_layers=3, rng=rng)
+        # 4*8+8 + 8*8+8 + 8*2+2
+        assert mlp.num_parameters() == (4 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2)
+
+    def test_nonlinearity_present(self, rng):
+        mlp = MLP(3, 8, 1, rng=rng)
+        x1, x2 = rng.normal(size=(1, 3)), rng.normal(size=(1, 3))
+        y_sum = mlp(Tensor(x1 + x2)).item()
+        y_parts = mlp(Tensor(x1)).item() + mlp(Tensor(x2)).item()
+        assert y_sum != pytest.approx(y_parts, abs=1e-9)
+
+
+class TestLayerNorm:
+    def test_normalises_mean_and_variance(self, rng):
+        layer = LayerNorm(12)
+        out = layer(Tensor(rng.normal(loc=5.0, scale=3.0, size=(4, 12)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_learnable_gain_bias_shift_output(self, rng):
+        layer = LayerNorm(6)
+        layer.gain.data = np.full(6, 2.0)
+        layer.bias.data = np.full(6, 1.0)
+        out = layer(Tensor(rng.normal(size=(3, 6)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        table = Embedding(10, 5, rng=rng)
+        out = table(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 5)
+
+    def test_lookup_values_match_weight_rows(self, rng):
+        table = Embedding(10, 5, rng=rng)
+        out = table(np.array([3, 7]))
+        np.testing.assert_allclose(out.data, table.weight.data[[3, 7]])
+
+    def test_out_of_range_raises(self, rng):
+        table = Embedding(4, 2, rng=rng)
+        with pytest.raises(IndexError):
+            table(np.array([4]))
+
+    def test_duplicate_indices_accumulate_gradient(self, rng):
+        table = Embedding(5, 3, rng=rng)
+        out = table(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(table.weight.grad[1], np.full(3, 2.0))
+        np.testing.assert_allclose(table.weight.grad[2], np.full(3, 1.0))
+        np.testing.assert_allclose(table.weight.grad[0], np.zeros(3))
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_zero_rate_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(5, 5))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_training_mode_zeroes_and_rescales(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((200, 50))
+        out = layer(Tensor(x)).data
+        assert (out == 0).mean() == pytest.approx(0.5, abs=0.05)
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid_rate(self, rng):
+        layer = Dropout(1.0, rng=rng)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((2, 2))))
+
+
+class TestSequentialAndIdentity:
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        assert seq(Tensor(rng.normal(size=(3, 4)))).shape == (3, 2)
+        assert len(seq) == 2
+
+    def test_identity(self):
+        x = Tensor(np.arange(4.0))
+        np.testing.assert_allclose(Identity()(x).data, x.data)
+
+
+class TestGRUCell:
+    def test_output_shape_and_range(self, rng):
+        cell = GRUCell(6, 4, rng=rng)
+        out = cell(Tensor(rng.normal(size=(5, 6))), Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 4)
+        assert np.all(np.abs(out.data) <= 1.0 + 1e-9)
+
+    def test_zero_update_gate_keeps_candidate_behaviour(self, rng):
+        cell = GRUCell(3, 3, rng=rng)
+        hidden = Tensor(rng.normal(size=(2, 3)))
+        out1 = cell(Tensor(np.zeros((2, 3))), hidden)
+        out2 = cell(Tensor(rng.normal(size=(2, 3))), hidden)
+        assert not np.allclose(out1.data, out2.data)
+
+    def test_gradients_flow_to_weights(self, rng):
+        cell = GRUCell(3, 4, rng=rng)
+        out = cell(Tensor(rng.normal(size=(2, 3))), Tensor(rng.normal(size=(2, 4))))
+        (out * out).sum().backward()
+        assert cell.weight_ih.grad is not None
+        assert cell.weight_hh.grad is not None
+
+
+class TestTimeEncode:
+    def test_shape(self):
+        encoder = TimeEncode(8)
+        out = encoder(np.array([0.0, 10.0, 1e6]))
+        assert out.shape == (3, 8)
+
+    def test_bounded_output(self):
+        encoder = TimeEncode(16)
+        out = encoder(np.linspace(0, 1e9, 50)).data
+        assert np.all(out <= 1.0) and np.all(out >= -1.0)
+
+    def test_zero_delta_gives_cos_of_phase(self):
+        encoder = TimeEncode(4)
+        out = encoder(np.array([0.0])).data
+        np.testing.assert_allclose(out[0], np.cos(encoder.phase.data), atol=1e-12)
+
+    def test_distinguishes_time_scales(self):
+        encoder = TimeEncode(32)
+        near = encoder(np.array([1.0])).data
+        far = encoder(np.array([1e6])).data
+        assert not np.allclose(near, far)

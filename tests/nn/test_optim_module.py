@@ -1,0 +1,163 @@
+"""Tests for optimisers, gradient clipping, and the Module system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, MLP
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        optimizer = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        optimizer.step()
+        first = p.data.copy()
+        p.grad = np.array([1.0])
+        optimizer.step()
+        assert (first - p.data)[0] > 1.0  # second step larger due to momentum
+
+    def test_weight_decay_pulls_towards_zero(self):
+        p = Parameter(np.array([10.0]))
+        optimizer = SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] < 10.0
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([p], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = ((Tensor(np.zeros(2)) - p) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-2)
+
+    def test_skips_parameters_without_grad(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([2.0]))
+        p1.grad = np.array([1.0])
+        Adam([p1, p2], lr=0.1).step()
+        assert p2.data[0] == 2.0
+        assert p1.data[0] != 1.0
+
+    def test_linear_regression_fit(self, rng):
+        true_w = np.array([[2.0], [-1.0], [0.5]])
+        x = rng.normal(size=(200, 3))
+        y = x @ true_w
+        layer = Linear(3, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = F.mse_loss(layer(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm_before = clip_grad_norm([p], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients_alone(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=5.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+    def test_handles_no_gradients(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], max_norm=1.0) == 0.0
+
+
+class _ToyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.child = Linear(2, 2, rng=np.random.default_rng(0))
+        self.register_buffer("running_state", np.zeros(3))
+
+    def forward(self, x):
+        return self.child(x.matmul(self.weight))
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        module = _ToyModule()
+        names = dict(module.named_parameters())
+        assert "weight" in names
+        assert "child.weight" in names
+        assert "child.bias" in names
+        assert len(module.parameters()) == 3
+
+    def test_num_parameters(self):
+        module = _ToyModule()
+        assert module.num_parameters() == 4 + 4 + 2
+
+    def test_train_eval_propagates(self):
+        module = _ToyModule()
+        module.eval()
+        assert not module.training and not module.child.training
+        module.train()
+        assert module.training and module.child.training
+
+    def test_state_dict_roundtrip(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        assert "running_state" in state
+        module.weight.data += 5.0
+        module.load_state_dict(state)
+        np.testing.assert_allclose(module.weight.data, np.ones((2, 2)))
+
+    def test_load_state_dict_missing_key_raises(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        module = _ToyModule()
+        out = module(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in module.parameters())
+        module.zero_grad()
+        assert all(p.grad is None for p in module.parameters())
+
+    def test_modules_iterator(self):
+        module = _ToyModule()
+        assert len(list(module.modules())) == 2
+
+    def test_mlp_state_dict_roundtrip(self, rng):
+        source = MLP(4, 8, 2, rng=rng)
+        target = MLP(4, 8, 2, rng=np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(source(x).data, target(x).data)

@@ -1,0 +1,182 @@
+"""Forward-pass correctness of the Tensor primitives."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, no_grad, unbroadcast
+
+
+class TestConstruction:
+    def test_wraps_lists_as_float_arrays(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype.kind == "f"
+        assert t.shape == (3,)
+
+    def test_zeros_and_ones(self):
+        assert np.all(Tensor.zeros(2, 3).data == 0)
+        assert np.all(Tensor.ones(4).data == 1)
+
+    def test_ensure_passes_through_tensors(self):
+        t = Tensor([1.0])
+        assert Tensor.ensure(t) is t
+
+    def test_ensure_wraps_arrays(self):
+        out = Tensor.ensure(np.ones(3))
+        assert isinstance(out, Tensor)
+
+    def test_detach_breaks_graph(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_item_on_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar_broadcast(self):
+        out = Tensor([[1.0, 2.0]]) + 1.0
+        np.testing.assert_allclose(out.data, [[2.0, 3.0]])
+
+    def test_radd(self):
+        out = 2.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([5.0]) - 2.0).data, [3.0])
+        np.testing.assert_allclose((10.0 - Tensor([4.0])).data, [6.0])
+
+    def test_mul_and_div(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])).data, [8.0, 15.0])
+        np.testing.assert_allclose((Tensor([8.0]) / 2.0).data, [4.0])
+        np.testing.assert_allclose((8.0 / Tensor([2.0])).data, [4.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6).reshape(2, 3))
+        b = Tensor(np.arange(12).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_batched(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(5, 2, 3)))
+        b = Tensor(np.random.default_rng(1).normal(size=(5, 3, 4)))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+
+class TestNonlinearities:
+    def test_relu(self):
+        np.testing.assert_allclose(Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range(self):
+        out = Tensor([-100.0, 0.0, 100.0]).sigmoid().data
+        assert out[0] == pytest.approx(0.0, abs=1e-10)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-10)
+
+    def test_tanh_exp_log(self):
+        x = np.array([0.5, 1.5])
+        np.testing.assert_allclose(Tensor(x).tanh().data, np.tanh(x))
+        np.testing.assert_allclose(Tensor(x).exp().data, np.exp(x))
+        np.testing.assert_allclose(Tensor(x).log().data, np.log(x))
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+    def test_cos_sin(self):
+        x = np.array([0.0, np.pi / 2])
+        np.testing.assert_allclose(Tensor(x).cos().data, np.cos(x), atol=1e-12)
+        np.testing.assert_allclose(Tensor(x).sin().data, np.sin(x), atol=1e-12)
+
+    def test_leaky_relu(self):
+        out = Tensor([-2.0, 3.0]).leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+
+
+class TestReductionsAndShape:
+    def test_sum_axes(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4))
+        assert x.sum().item() == pytest.approx(66.0)
+        np.testing.assert_allclose(x.sum(axis=0).data, x.data.sum(axis=0))
+        np.testing.assert_allclose(x.sum(axis=1, keepdims=True).data,
+                                   x.data.sum(axis=1, keepdims=True))
+
+    def test_mean(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4))
+        assert x.mean().item() == pytest.approx(5.5)
+        np.testing.assert_allclose(x.mean(axis=1).data, x.data.mean(axis=1))
+
+    def test_max(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]))
+        assert x.max().item() == pytest.approx(7.0)
+        np.testing.assert_allclose(x.max(axis=1).data, [5.0, 7.0])
+
+    def test_reshape_and_transpose(self):
+        x = Tensor(np.arange(6.0))
+        np.testing.assert_allclose(x.reshape(2, 3).data, np.arange(6.0).reshape(2, 3))
+        y = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(y.T.data, y.data.T)
+        z = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        np.testing.assert_allclose(z.transpose(0, 2, 1).data, z.data.transpose(0, 2, 1))
+
+    def test_getitem_and_gather(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        np.testing.assert_allclose(x[1:3].data, x.data[1:3])
+        np.testing.assert_allclose(x.gather_rows([0, 0, 2]).data, x.data[[0, 0, 2]])
+
+    def test_squeeze_unsqueeze(self):
+        x = Tensor(np.zeros((3, 1, 4)))
+        assert x.squeeze(1).shape == (3, 4)
+        assert x.unsqueeze(0).shape == (1, 3, 1, 4)
+
+
+class TestGradFlags:
+    def test_no_grad_context_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sums_leading_dims(self):
+        g = np.ones((5, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), np.full((2, 3), 5.0))
+
+    def test_sums_size_one_dims(self):
+        g = np.ones((4, 3))
+        np.testing.assert_allclose(unbroadcast(g, (1, 3)), np.full((1, 3), 4.0))
+        np.testing.assert_allclose(unbroadcast(g, (4, 1)), np.full((4, 1), 3.0))

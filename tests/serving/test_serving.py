@@ -1,0 +1,120 @@
+"""Tests for the async queue, storage latency model and deployment simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import APAN, APANConfig
+from repro.baselines import TGN
+from repro.serving import (
+    AsyncWorkQueue,
+    DeploymentSimulator,
+    StorageLatencyModel,
+)
+
+
+class TestAsyncWorkQueue:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            AsyncWorkQueue(0)
+
+    def test_tasks_complete_in_fifo_order(self):
+        queue = AsyncWorkQueue(num_workers=1)
+        queue.submit(0.0, work_ms=5.0, payload="a")
+        queue.submit(1.0, work_ms=5.0, payload="b")
+        done = queue.drain_until(20.0)
+        assert [t.payload for t in done] == ["a", "b"]
+        assert done[0].completed_at == 5.0
+        assert done[1].completed_at == 10.0
+
+    def test_drain_respects_time_budget(self):
+        queue = AsyncWorkQueue(num_workers=1)
+        queue.submit(0.0, work_ms=10.0)
+        queue.submit(0.0, work_ms=10.0)
+        done = queue.drain_until(12.0)
+        assert len(done) == 1
+        assert queue.pending_count == 1
+
+    def test_multiple_workers_run_in_parallel(self):
+        single = AsyncWorkQueue(num_workers=1)
+        double = AsyncWorkQueue(num_workers=2)
+        for queue in (single, double):
+            queue.submit(0.0, work_ms=10.0)
+            queue.submit(0.0, work_ms=10.0)
+            queue.flush()
+        assert max(t.completed_at for t in single.completed_tasks) == 20.0
+        assert max(t.completed_at for t in double.completed_tasks) == 10.0
+
+    def test_lag_accounts_for_queueing(self):
+        queue = AsyncWorkQueue(num_workers=1)
+        first = queue.submit(0.0, work_ms=10.0)
+        second = queue.submit(0.0, work_ms=10.0)
+        queue.flush()
+        assert first.lag_ms == 10.0
+        assert second.lag_ms == 20.0
+        assert queue.mean_lag_ms() == 15.0
+
+    def test_lag_before_completion_raises(self):
+        queue = AsyncWorkQueue()
+        task = queue.submit(0.0, 1.0)
+        with pytest.raises(ValueError):
+            _ = task.lag_ms
+
+    def test_empty_queue_mean_lag(self):
+        assert AsyncWorkQueue().mean_lag_ms() == 0.0
+
+
+class TestStorageLatencyModel:
+    def test_costs_scale_with_request_count(self):
+        model = StorageLatencyModel(graph_query_ms=5.0, kv_read_ms=0.5, jitter=0.0, seed=0)
+        assert model.graph_query_cost(10) == pytest.approx(50.0)
+        assert model.kv_read_cost(10) == pytest.approx(5.0)
+
+    def test_zero_requests_cost_nothing(self):
+        model = StorageLatencyModel()
+        assert model.graph_query_cost(0) == 0.0
+        assert model.kv_read_cost(0) == 0.0
+
+    def test_graph_queries_dominate_kv_reads(self):
+        model = StorageLatencyModel(seed=1)
+        assert model.graph_query_cost(100) > model.kv_read_cost(100)
+
+
+class TestDeploymentSimulator:
+    @pytest.fixture
+    def apan(self, tiny_dataset):
+        return APAN(tiny_dataset.num_nodes, tiny_dataset.edge_feature_dim,
+                    APANConfig(num_mailbox_slots=4, num_neighbors=4,
+                               mlp_hidden_dim=16, seed=0))
+
+    def test_report_fields(self, apan, tiny_graph):
+        simulator = DeploymentSimulator(apan, tiny_graph, batch_size=64)
+        report = simulator.run(max_batches=3)
+        assert report.mode == "asynchronous"
+        assert report.mean_decision_ms > 0
+        assert report.p99_decision_ms >= report.p50_decision_ms
+        assert report.num_decisions == 3 * 64
+        assert set(report.as_dict()) >= {"mode", "mean_decision_ms", "p95_decision_ms"}
+
+    def test_async_mode_cheaper_than_forced_sync(self, apan, tiny_graph):
+        """Putting APAN's propagation on the critical path (Figure 2a) costs more."""
+        storage = StorageLatencyModel(graph_query_ms=5.0, kv_read_ms=0.2, jitter=0.0, seed=0)
+        async_report = DeploymentSimulator(apan, tiny_graph, storage=storage,
+                                           batch_size=64).run(max_batches=3,
+                                                              synchronous=False)
+        apan.reset_state()
+        sync_report = DeploymentSimulator(apan, tiny_graph, storage=storage,
+                                          batch_size=64).run(max_batches=3,
+                                                             synchronous=True)
+        assert async_report.mean_decision_ms < sync_report.mean_decision_ms
+
+    def test_synchronous_model_pays_graph_queries(self, tiny_dataset, tiny_graph):
+        tgn = TGN(tiny_dataset.num_nodes, tiny_dataset.edge_feature_dim,
+                  num_layers=1, num_neighbors=4, seed=0)
+        report = DeploymentSimulator(tgn, tiny_graph, batch_size=64).run(max_batches=2)
+        assert report.mode == "synchronous"
+        assert report.mean_async_lag_ms == 0.0
+
+    def test_async_lag_is_tracked(self, apan, tiny_graph):
+        report = DeploymentSimulator(apan, tiny_graph, batch_size=64,
+                                     async_workers=1).run(max_batches=3)
+        assert report.mean_async_lag_ms >= 0.0
