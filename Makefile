@@ -1,0 +1,20 @@
+PYTHON ?= python
+
+.PHONY: test test-fast equivalence bench
+
+## Tier-1: the full suite (unit tests + paper benchmarks), as CI runs it.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Unit tests only (seconds, not minutes).
+test-fast:
+	$(PYTHON) -m pytest -q tests/
+
+## Prove the vectorized propagation engine matches the reference engine.
+equivalence:
+	$(PYTHON) -m pytest -q tests/core/test_propagation_equivalence.py tests/property/
+
+## Measure both propagation engines on the 10k-event synthetic stream and
+## write BENCH_propagation.json (the perf trajectory future PRs compare to).
+bench:
+	$(PYTHON) -m pytest -q benchmarks/test_propagation_throughput.py -s

@@ -1,0 +1,6 @@
+"""Benchmark harness reproducing the paper's tables and figures.
+
+Making this directory a package lets ``python -m pytest`` collect the
+benchmark modules (which use relative imports of :mod:`benchmarks.harness`)
+from a clean checkout without any ``PYTHONPATH`` incantation.
+"""

@@ -44,6 +44,9 @@ def main() -> None:
           f"test {100 * fraud.test_auc:.1f}%")
 
     # --- Serving simulation: asynchronous APAN vs synchronous TGN.
+    #    The simulator replays the stream from t=0, so the streaming state
+    #    (mailboxes + event store) must start fresh.
+    apan.reset_state()
     storage = StorageLatencyModel(graph_query_ms=8.0, kv_read_ms=0.4, seed=0)
     apan_report = DeploymentSimulator(apan, graph, storage=storage,
                                       batch_size=50).run(max_batches=12)

@@ -8,7 +8,12 @@ from .interfaces import BatchEmbeddings, TemporalEmbeddingModel
 from .interpret import MailAttribution, explain_node
 from .mailbox import Mailbox
 from .model import APAN
-from .propagator import MailPropagator, PropagationReport
+from .propagator import (
+    MailPropagator,
+    PropagationReport,
+    ReferencePropagator,
+    VectorizedPropagator,
+)
 from .trainer import LinkPredictionTrainer, TrainingResult
 
 __all__ = [
@@ -17,6 +22,8 @@ __all__ = [
     "APANEncoder",
     "Mailbox",
     "MailPropagator",
+    "ReferencePropagator",
+    "VectorizedPropagator",
     "PropagationReport",
     "LinkPredictionDecoder",
     "EdgeClassificationDecoder",

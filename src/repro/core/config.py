@@ -27,6 +27,10 @@ class APANConfig:
     mail_rho: str = "mean"
     mail_passing: str = "identity"
     mailbox_update: str = "fifo"
+    # Which mail-routing engine to run: "vectorized" (batch array ops, the
+    # fast default) or "reference" (the per-event oracle loop the equivalence
+    # suite checks the fast path against).
+    propagation_engine: str = "vectorized"
 
     # Encoder / decoder
     num_attention_heads: int = 2
@@ -62,6 +66,8 @@ class APANConfig:
             raise ValueError("batch_size must be positive")
         if self.num_attention_heads <= 0:
             raise ValueError("num_attention_heads must be positive")
+        if self.propagation_engine not in ("reference", "vectorized"):
+            raise ValueError("propagation_engine must be 'reference' or 'vectorized'")
         return self
 
     def as_dict(self) -> dict:

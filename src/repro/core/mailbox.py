@@ -103,10 +103,32 @@ class Mailbox:
         else:
             self._deliver_reservoir(nodes, mails, timestamps)
 
+    @staticmethod
+    def _occurrence_offsets(nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-element occurrence index within its node group, plus group sizes.
+
+        ``offsets[i]`` is how many earlier elements of ``nodes`` hold the same
+        node id (so sequential semantics survive vectorisation), and
+        ``group_counts[i]`` is the total number of occurrences of ``nodes[i]``.
+        """
+        order = np.argsort(nodes, kind="stable")
+        sorted_nodes = nodes[order]
+        boundaries = np.empty(len(nodes), dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = sorted_nodes[1:] != sorted_nodes[:-1]
+        group_starts = np.where(boundaries)[0]
+        group_id = np.cumsum(boundaries) - 1
+        sorted_offsets = np.arange(len(nodes)) - group_starts[group_id]
+        counts = np.diff(np.append(group_starts, len(nodes)))
+        offsets = np.empty(len(nodes), dtype=np.int64)
+        offsets[order] = sorted_offsets
+        group_counts = np.empty(len(nodes), dtype=np.int64)
+        group_counts[order] = counts[group_id]
+        return offsets, group_counts
+
     def _deliver_fifo(self, nodes, mails, timestamps) -> None:
-        unique, first_index, counts = np.unique(nodes, return_index=True, return_counts=True)
-        if counts.max(initial=1) == 1:
-            # Fully vectorised fast path: one mail per node.
+        if len(np.unique(nodes)) == len(nodes):
+            # One mail per node: plain fancy indexing.
             slots = self._next_slot[nodes]
             self.mails[nodes, slots] = mails
             self.mail_times[nodes, slots] = timestamps
@@ -114,24 +136,62 @@ class Mailbox:
             self._next_slot[nodes] = (slots + 1) % self.num_slots
             self._delivered[nodes] += 1
             return
-        for node, mail, timestamp in zip(nodes, mails, timestamps):
-            slot = self._next_slot[node]
-            self.mails[node, slot] = mail
-            self.mail_times[node, slot] = timestamp
-            self.valid[node, slot] = True
-            self._next_slot[node] = (slot + 1) % self.num_slots
-            self._delivered[node] += 1
+        # Duplicate nodes: occurrence j of a node lands in slot
+        # (next_slot + j) % num_slots, exactly as sequential delivery would.
+        # Writes that a later occurrence of the same slot would overwrite are
+        # dropped up front (only the last num_slots occurrences per node can
+        # survive the ring buffer), so one fancy assignment suffices.
+        offsets, group_counts = self._occurrence_offsets(nodes)
+        slots = (self._next_slot[nodes] + offsets) % self.num_slots
+        survives = offsets >= group_counts - self.num_slots
+        write_nodes = nodes[survives]
+        write_slots = slots[survives]
+        self.mails[write_nodes, write_slots] = mails[survives]
+        self.mail_times[write_nodes, write_slots] = timestamps[survives]
+        self.valid[write_nodes, write_slots] = True
+        last = offsets == group_counts - 1
+        self._next_slot[nodes[last]] = (self._next_slot[nodes[last]]
+                                        + group_counts[last]) % self.num_slots
+        np.add.at(self._delivered, nodes, 1)
 
     def _deliver_newest_overwrite(self, nodes, mails, timestamps) -> None:
         """Ablation policy: always overwrite slot 0 (mailbox of effective size 1)."""
-        for node, mail, timestamp in zip(nodes, mails, timestamps):
-            self.mails[node, 0] = mail
-            self.mail_times[node, 0] = timestamp
-            self.valid[node, 0] = True
-            self._delivered[node] += 1
+        offsets, group_counts = self._occurrence_offsets(nodes)
+        last = offsets == group_counts - 1
+        self.mails[nodes[last], 0] = mails[last]
+        self.mail_times[nodes[last], 0] = timestamps[last]
+        self.valid[nodes, 0] = True
+        np.add.at(self._delivered, nodes, 1)
 
     def _deliver_reservoir(self, nodes, mails, timestamps) -> None:
-        """Ablation policy: reservoir sampling keeps a uniform sample of history."""
+        """Ablation policy: reservoir sampling keeps a uniform sample of history.
+
+        The common case (every node appears once — the propagator reduces
+        duplicates with ρ before delivering) is fully vectorised: the
+        still-filling nodes take slot ``delivered`` directly, and the full
+        ones draw their candidate slots in one array call.  Duplicate nodes
+        fall back to the sequential loop, whose draws depend on the running
+        ``delivered`` counter.
+        """
+        unique = len(np.unique(nodes)) == len(nodes)
+        if unique:
+            delivered = self._delivered[nodes]
+            filling = delivered < self.num_slots
+            slots = np.where(filling, delivered, 0)
+            accept = filling.copy()
+            full = np.where(~filling)[0]
+            if len(full):
+                candidates = self._rng.integers(0, delivered[full] + 1)
+                keep = candidates < self.num_slots
+                slots[full[keep]] = candidates[keep]
+                accept[full[keep]] = True
+            write_nodes = nodes[accept]
+            write_slots = slots[accept]
+            self.mails[write_nodes, write_slots] = mails[accept]
+            self.mail_times[write_nodes, write_slots] = timestamps[accept]
+            self.valid[write_nodes, write_slots] = True
+            self._delivered[nodes] += 1
+            return
         for node, mail, timestamp in zip(nodes, mails, timestamps):
             delivered = self._delivered[node]
             if delivered < self.num_slots:

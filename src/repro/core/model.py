@@ -69,6 +69,7 @@ class APAN(TemporalEmbeddingModel):
             rho=config.mail_rho,
             mail_passing=config.mail_passing,
             seed=config.seed,
+            engine=config.propagation_engine,
         )
         self.encoder = APANEncoder(
             embedding_dim=embedding_dim,

@@ -19,6 +19,23 @@ The propagator owns the model's internal :class:`TemporalGraph`, to which the
 batch's events are appended *after* propagation — so mails are routed along
 edges that existed strictly before the batch, mirroring the deployed system in
 which the graph database lags the event stream.
+
+Engines
+-------
+Two interchangeable routing engines implement step 2/3:
+
+* ``engine="reference"`` (:class:`ReferencePropagator`) — the per-event,
+  per-neighbor Python loop that follows the paper's pseudocode literally.
+  Slow, but easy to audit; it defines the semantics.
+* ``engine="vectorized"`` (:class:`VectorizedPropagator`, the default) —
+  expands whole frontiers per hop with array ops
+  (:meth:`~repro.graph.neighbor_sampler.TemporalNeighborSampler.sample_many`,
+  ``np.repeat`` / ``np.unique`` / segment reductions) and never loops over
+  events.  Because the samplers run in stateless mode (per-query derived
+  RNGs), both engines produce *identical* mailbox contents for every
+  φ/ρ/ψ/sampling combination — the equivalence test suite in
+  ``tests/core/test_propagation_equivalence.py`` asserts this bit-for-bit
+  (within float tolerance for the ρ reductions).
 """
 
 from __future__ import annotations
@@ -30,11 +47,17 @@ from ..graph.neighbor_sampler import make_sampler
 from ..graph.temporal_graph import TemporalGraph
 from .mailbox import Mailbox
 
-__all__ = ["MailPropagator", "PropagationReport"]
+__all__ = [
+    "MailPropagator",
+    "ReferencePropagator",
+    "VectorizedPropagator",
+    "PropagationReport",
+]
 
 _PHI_CHOICES = ("sum", "concat_project")
 _RHO_CHOICES = ("mean", "last", "max")
 _F_CHOICES = ("identity", "time_decay")
+_ENGINE_CHOICES = ("reference", "vectorized")
 
 
 class PropagationReport:
@@ -57,7 +80,7 @@ class MailPropagator:
                  num_hops: int = 2, num_neighbors: int = 10,
                  sampling: str = "recent", phi: str = "sum", rho: str = "mean",
                  mail_passing: str = "identity", time_decay: float = 1e-6,
-                 seed: int | None = None):
+                 seed: int | None = None, engine: str = "vectorized"):
         if num_hops < 1:
             raise ValueError("num_hops must be at least 1")
         if phi not in _PHI_CHOICES:
@@ -66,6 +89,8 @@ class MailPropagator:
             raise ValueError(f"rho must be one of {_RHO_CHOICES}")
         if mail_passing not in _F_CHOICES:
             raise ValueError(f"mail_passing must be one of {_F_CHOICES}")
+        if engine not in _ENGINE_CHOICES:
+            raise ValueError(f"engine must be one of {_ENGINE_CHOICES}")
         self.mailbox = mailbox
         self.num_nodes = num_nodes
         self.edge_feature_dim = edge_feature_dim
@@ -76,12 +101,12 @@ class MailPropagator:
         self.rho = rho
         self.mail_passing = mail_passing
         self.time_decay = time_decay
+        self.engine = engine
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         # Internal, incrementally grown event store used for neighbour lookups.
         self.graph = TemporalGraph(num_nodes, edge_feature_dim)
-        self._sampler = make_sampler(sampling, self.graph,
-                                     num_neighbors=num_neighbors, seed=seed)
+        self._sampler = self._make_sampler()
         # Optional projection used when phi == 'concat_project'.
         if phi == "concat_project":
             scale = 1.0 / np.sqrt(3 * edge_feature_dim)
@@ -91,13 +116,20 @@ class MailPropagator:
         else:
             self._concat_projection = None
 
+    def _make_sampler(self):
+        # Stateless sampling makes each neighbourhood a pure function of
+        # (node, time), so the reference and vectorized engines agree exactly
+        # even though they issue the queries in different orders.
+        return make_sampler(self.sampling, self.graph,
+                            num_neighbors=self.num_neighbors, seed=self._seed,
+                            stateless=True)
+
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
         """Clear the internal event store and all mailboxes."""
         self.mailbox.reset()
         self.graph = TemporalGraph(self.num_nodes, self.edge_feature_dim)
-        self._sampler = make_sampler(self.sampling, self.graph,
-                                     num_neighbors=self.num_neighbors, seed=self._seed)
+        self._sampler = self._make_sampler()
 
     # ------------------------------------------------------------------ #
     # φ — mail generation
@@ -144,9 +176,19 @@ class MailPropagator:
         self._ingest_events(batch)
 
     # ------------------------------------------------------------------ #
+    # Routing — engine dispatch
+    # ------------------------------------------------------------------ #
     def _route_mails(self, batch: EventBatch, mails: np.ndarray):
-        """Compute the receiver list for every mail (the interacting nodes and
-        their k-hop temporal neighbours), applying the mail-passing function f.
+        if self.engine == "reference":
+            return self._route_mails_reference(batch, mails)
+        return self._route_mails_vectorized(batch, mails)
+
+    def _route_mails_reference(self, batch: EventBatch, mails: np.ndarray):
+        """Per-event routing loop: the paper's pseudocode, kept as the oracle.
+
+        For every event, the two interacting nodes receive the mail (hop 0);
+        then each hop samples the temporal neighbours of the previous
+        frontier, skipping nodes already reached by this event's mail.
         """
         receivers: list[int] = []
         receiver_mails: list[np.ndarray] = []
@@ -192,6 +234,91 @@ class MailPropagator:
         return (np.asarray(receivers, dtype=np.int64), np.stack(receiver_mails),
                 np.asarray(receiver_times), hop_sizes)
 
+    def _route_mails_vectorized(self, batch: EventBatch, mails: np.ndarray):
+        """Whole-frontier routing with array ops; no per-event Python loop.
+
+        Each hop expands the entire batch frontier with one ``sample_many``
+        call, then filters the flattened candidates with array ops:
+        per-event de-duplication ("a node receives each event's mail at most
+        once") is a first-occurrence-wins pass over ``event * num_nodes +
+        node`` keys.  The receiver list is finally re-sorted to the reference
+        engine's (event, hop, discovery) order, so the downstream ρ reduction
+        accumulates in the same order and both engines agree to the last bit.
+        """
+        hop_sizes = [0] * self.num_hops
+        num_events = len(batch)
+        if num_events == 0:
+            return (np.empty(0, dtype=np.int64), np.zeros((0, self.mailbox.mail_dim)),
+                    np.empty(0), hop_sizes)
+
+        src = np.asarray(batch.src, dtype=np.int64)
+        dst = np.asarray(batch.dst, dtype=np.int64)
+        timestamps = np.asarray(batch.timestamps, dtype=np.float64)
+
+        # Hop 0: both endpoints of every event, in (event, src, dst) order.
+        hop0_events = np.repeat(np.arange(num_events), 2)
+        hop0_nodes = np.empty(2 * num_events, dtype=np.int64)
+        hop0_nodes[0::2] = src
+        hop0_nodes[1::2] = dst
+        hop_sizes[0] = len(hop0_nodes)
+
+        event_blocks = [hop0_events]
+        node_blocks = [hop0_nodes]
+        decay_blocks = [np.zeros(len(hop0_nodes), dtype=np.int64)]
+
+        # Per-event "already reached" sets as sorted (event * N + node) keys.
+        seen_keys = np.unique(hop0_events * self.num_nodes + hop0_nodes)
+        frontier_events, frontier_nodes = hop0_events, hop0_nodes
+
+        for hop in range(1, self.num_hops):
+            if len(frontier_nodes) == 0:
+                break
+            sample = self._sampler.sample_many(frontier_nodes,
+                                               timestamps[frontier_events])
+            # Flatten row-major: frontier order, then slot order — the exact
+            # order the reference loop visits candidates within each event.
+            flat_events = np.repeat(frontier_events, self.num_neighbors)
+            flat_nodes = sample.neighbors.ravel()
+            flat_valid = sample.mask.ravel()
+            flat_events = flat_events[flat_valid]
+            flat_nodes = flat_nodes[flat_valid]
+            if len(flat_nodes) == 0:
+                break
+            keys = flat_events * self.num_nodes + flat_nodes
+            fresh = ~np.isin(keys, seen_keys)
+            keys = keys[fresh]
+            flat_events = flat_events[fresh]
+            flat_nodes = flat_nodes[fresh]
+            if len(flat_nodes) == 0:
+                break
+            # First occurrence wins within the hop (later duplicates of the
+            # same (event, node) pair are the ones the reference loop skips).
+            _, first = np.unique(keys, return_index=True)
+            keep = np.sort(first)
+            flat_events = flat_events[keep]
+            flat_nodes = flat_nodes[keep]
+
+            hop_sizes[hop] = len(flat_nodes)
+            event_blocks.append(flat_events)
+            node_blocks.append(flat_nodes)
+            decay_blocks.append(np.full(len(flat_nodes), hop, dtype=np.int64))
+            seen_keys = np.union1d(seen_keys, keys[keep])
+            frontier_events, frontier_nodes = flat_events, flat_nodes
+
+        events = np.concatenate(event_blocks)
+        receivers = np.concatenate(node_blocks)
+        hops = np.concatenate(decay_blocks)
+        # Stable sort by event restores the reference (event, hop, discovery)
+        # order: within one event the blocks already appear hop-by-hop.
+        order = np.argsort(events, kind="stable")
+        events, receivers, hops = events[order], receivers[order], hops[order]
+
+        receiver_mails = mails[events]
+        if self.mail_passing != "identity":
+            receiver_mails = receiver_mails * np.exp(-self.time_decay * hops)[:, None]
+        receiver_times = timestamps[events]
+        return receivers, receiver_mails, receiver_times, hop_sizes
+
     def _pass_mail(self, mail: np.ndarray, hop: int, timestamp: float) -> np.ndarray:
         """f — how a mail attenuates as it travels (identity in the paper)."""
         if self.mail_passing == "identity":
@@ -216,15 +343,37 @@ class MailPropagator:
             np.maximum.at(reduced_mails, inverse, mails)
         else:  # "last": keep the chronologically latest mail per receiver
             order = np.argsort(times, kind="stable")
-            for position in order:
-                reduced_mails[inverse[position]] = mails[position]
+            # Chronological rank of every mail; the winner per receiver is the
+            # one holding the group's maximum rank (ties impossible: ranks are
+            # a permutation, and the stable sort puts the latest array
+            # position last among equal times — sequential-overwrite order).
+            ranks = np.empty(len(order), dtype=np.int64)
+            ranks[order] = np.arange(len(order))
+            group_max = np.full(len(unique_nodes), -1, dtype=np.int64)
+            np.maximum.at(group_max, inverse, ranks)
+            winners = ranks == group_max[inverse]
+            reduced_mails[inverse[winners]] = mails[winners]
         np.maximum.at(reduced_times, inverse, times)
         return unique_nodes, reduced_mails, reduced_times
 
     def _ingest_events(self, batch: EventBatch) -> None:
-        for index in range(len(batch)):
-            self.graph.add_interaction(
-                int(batch.src[index]), int(batch.dst[index]),
-                float(batch.timestamps[index]), batch.edge_features[index],
-                label=float(batch.labels[index]),
-            )
+        if len(batch) == 0:
+            return
+        self.graph.add_interactions(batch.src, batch.dst, batch.timestamps,
+                                    batch.edge_features, batch.labels)
+
+
+class ReferencePropagator(MailPropagator):
+    """The per-event oracle engine (``engine="reference"``)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs["engine"] = "reference"
+        super().__init__(*args, **kwargs)
+
+
+class VectorizedPropagator(MailPropagator):
+    """The batch array engine (``engine="vectorized"``)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs["engine"] = "vectorized"
+        super().__init__(*args, **kwargs)

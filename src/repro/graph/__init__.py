@@ -3,6 +3,7 @@
 from .batching import EventBatch, iterate_batches, num_batches
 from .neighbor_sampler import (
     MostRecentNeighborSampler,
+    NeighborBatch,
     NeighborSample,
     TemporalNeighborSampler,
     TimeWeightedNeighborSampler,
@@ -18,6 +19,7 @@ __all__ = [
     "Interaction",
     "StaticGraph",
     "NeighborSample",
+    "NeighborBatch",
     "TemporalNeighborSampler",
     "MostRecentNeighborSampler",
     "UniformNeighborSampler",

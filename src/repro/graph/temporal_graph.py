@@ -5,19 +5,30 @@ A CTDG is an ordered stream of interaction events ``(src, dst, t, edge_feat)``
 
 * :class:`Interaction` — a single temporal event.
 * :class:`TemporalGraph` — a column-oriented store of the full event stream
-  with an incrementally maintained temporal adjacency structure, supporting
-  the queries every model in this repository needs:
+  with a flat CSR-style temporal adjacency view, supporting the queries every
+  model in this repository needs:
 
-  - append events in timestamp order (streaming insertion),
+  - append events in timestamp order, one at a time
+    (:meth:`TemporalGraph.add_interaction`) or in bulk
+    (:meth:`TemporalGraph.add_interactions` — the fast path used by the
+    vectorized propagation engine),
   - "edges of node v before time t" (for temporal neighbour sampling),
   - chronological slicing for train/validation/test splits,
   - multigraph semantics (repeated node pairs at different times).
 
-The adjacency index is a per-node dynamic array of (neighbour, edge-id,
-timestamp) triples kept sorted by insertion order, which equals timestamp
-order because events are appended chronologically.  This makes "most recent n
-neighbours before t" a binary search plus a slice — the exact query profile of
-TGN/TGAT/APAN's propagator.
+Storage layout
+--------------
+Events live in pre-allocated, amortised-doubling NumPy columns, so both the
+single-event and the bulk append are O(1) amortised array writes — no Python
+object churn per event.  The adjacency index is a flat *incidence* array (two
+entries per event: ``src→dst`` and ``dst→src``) from which a CSR view
+(``indptr`` + neighbour/edge-id/timestamp columns grouped by node) is built
+lazily with one stable counting sort and cached until the next append.
+Within each node's CSR segment, entries are in insertion order, which equals
+timestamp order because events arrive chronologically — so "most recent n
+neighbours before t" is a binary search plus a slice, and the
+:meth:`csr_view` arrays let samplers answer *batches* of such queries with
+pure array ops (see ``TemporalNeighborSampler.sample_many``).
 """
 
 from __future__ import annotations
@@ -52,37 +63,16 @@ class Interaction:
         )
 
 
-class _AdjacencyList:
-    """Per-node growable arrays of (neighbour, edge id, timestamp)."""
-
-    __slots__ = ("neighbors", "edge_ids", "timestamps", "length")
-
-    def __init__(self, initial_capacity: int = 4):
-        self.neighbors = np.empty(initial_capacity, dtype=np.int64)
-        self.edge_ids = np.empty(initial_capacity, dtype=np.int64)
-        self.timestamps = np.empty(initial_capacity, dtype=np.float64)
-        self.length = 0
-
-    def append(self, neighbor: int, edge_id: int, timestamp: float) -> None:
-        if self.length == len(self.neighbors):
-            new_capacity = max(8, 2 * len(self.neighbors))
-            self.neighbors = np.resize(self.neighbors, new_capacity)
-            self.edge_ids = np.resize(self.edge_ids, new_capacity)
-            self.timestamps = np.resize(self.timestamps, new_capacity)
-        self.neighbors[self.length] = neighbor
-        self.edge_ids[self.length] = edge_id
-        self.timestamps[self.length] = timestamp
-        self.length += 1
-
-    def before(self, time: float, strict: bool = True) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return (neighbors, edge_ids, timestamps) of events before ``time``."""
-        side = "left" if strict else "right"
-        cut = int(np.searchsorted(self.timestamps[: self.length], time, side=side))
-        return (
-            self.neighbors[:cut],
-            self.edge_ids[:cut],
-            self.timestamps[:cut],
-        )
+def _grow(array: np.ndarray, needed: int) -> np.ndarray:
+    """Return ``array`` with capacity >= needed (amortised doubling)."""
+    capacity = len(array)
+    if needed <= capacity:
+        return array
+    new_capacity = max(needed, 2 * capacity, 8)
+    new_shape = (new_capacity,) + array.shape[1:]
+    grown = np.empty(new_shape, dtype=array.dtype)
+    grown[:capacity] = array
+    return grown
 
 
 class TemporalGraph:
@@ -95,12 +85,25 @@ class TemporalGraph:
             raise ValueError("edge_feature_dim must be non-negative")
         self.num_nodes = num_nodes
         self.edge_feature_dim = edge_feature_dim
-        self._src: list[int] = []
-        self._dst: list[int] = []
-        self._timestamps: list[float] = []
-        self._labels: list[float] = []
-        self._edge_features: list[np.ndarray] = []
-        self._adjacency: dict[int, _AdjacencyList] = {}
+        self._num_events = 0
+        self._src_col = np.empty(0, dtype=np.int64)
+        self._dst_col = np.empty(0, dtype=np.int64)
+        self._time_col = np.empty(0, dtype=np.float64)
+        self._label_col = np.empty(0, dtype=np.float64)
+        self._feature_col = np.empty((0, edge_feature_dim), dtype=np.float64)
+        # Flat incidence: entries 2i and 2i+1 are event i seen from src and dst.
+        self._inc_node = np.empty(0, dtype=np.int64)
+        self._inc_neighbor = np.empty(0, dtype=np.int64)
+        self._inc_edge = np.empty(0, dtype=np.int64)
+        # Lazily maintained CSR view over the incidence arrays.
+        # _csr_built counts the incidence entries already folded in; a query
+        # merges any newer entries into the cached view incrementally.
+        self._csr_built = 0
+        self._csr_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        self._csr_nodes = np.empty(0, dtype=np.int64)
+        self._csr_neighbors = np.empty(0, dtype=np.int64)
+        self._csr_edge_ids = np.empty(0, dtype=np.int64)
+        self._csr_times = np.empty(0, dtype=np.float64)
         self._last_timestamp = -np.inf
 
     # ------------------------------------------------------------------ #
@@ -113,20 +116,12 @@ class TemporalGraph:
         """Build a temporal graph from parallel event arrays (must be time-sorted)."""
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
-        timestamps = np.asarray(timestamps, dtype=np.float64)
         edge_features = np.asarray(edge_features, dtype=np.float64)
-        if labels is None:
-            labels = np.zeros(len(src))
-        if not (len(src) == len(dst) == len(timestamps) == len(edge_features) == len(labels)):
-            raise ValueError("event arrays must have equal length")
-        if len(timestamps) > 1 and np.any(np.diff(timestamps) < 0):
-            raise ValueError("events must be sorted by timestamp")
         if num_nodes is None:
             num_nodes = int(max(src.max(initial=0), dst.max(initial=0))) + 1
-        graph = cls(num_nodes=num_nodes, edge_feature_dim=edge_features.shape[1] if edge_features.ndim == 2 else 0)
-        for i in range(len(src)):
-            graph.add_interaction(int(src[i]), int(dst[i]), float(timestamps[i]),
-                                  edge_features[i], label=float(labels[i]))
+        feature_dim = edge_features.shape[1] if edge_features.ndim == 2 else 0
+        graph = cls(num_nodes=num_nodes, edge_feature_dim=feature_dim)
+        graph.add_interactions(src, dst, timestamps, edge_features, labels)
         return graph
 
     def add_interaction(self, src: int, dst: int, timestamp: float,
@@ -151,45 +146,184 @@ class TemporalGraph:
                 f"edge feature dim mismatch: expected {self.edge_feature_dim}, "
                 f"got {len(edge_feature)}"
             )
-        edge_id = len(self._src)
-        self._src.append(src)
-        self._dst.append(dst)
-        self._timestamps.append(timestamp)
-        self._labels.append(label)
-        self._edge_features.append(edge_feature)
-        self._adjacency.setdefault(src, _AdjacencyList()).append(dst, edge_id, timestamp)
-        self._adjacency.setdefault(dst, _AdjacencyList()).append(src, edge_id, timestamp)
+        count = self._num_events
+        self._reserve(count + 1)
+        self._src_col[count] = src
+        self._dst_col[count] = dst
+        self._time_col[count] = timestamp
+        self._label_col[count] = label
+        self._feature_col[count] = edge_feature
+        incidence = 2 * count
+        self._inc_node[incidence] = src
+        self._inc_neighbor[incidence] = dst
+        self._inc_node[incidence + 1] = dst
+        self._inc_neighbor[incidence + 1] = src
+        self._inc_edge[incidence] = count
+        self._inc_edge[incidence + 1] = count
+        self._num_events = count + 1
         self._last_timestamp = timestamp
-        return edge_id
+        return count
+
+    def add_interactions(self, src: np.ndarray, dst: np.ndarray,
+                         timestamps: np.ndarray, edge_features: np.ndarray,
+                         labels: np.ndarray | None = None) -> np.ndarray:
+        """Bulk-append a chronological block of events; returns their edge ids.
+
+        This is the vectorized counterpart of :meth:`add_interaction`: one
+        validation pass and a handful of array copies regardless of the block
+        size.  The block must be internally time-sorted and must not precede
+        the last stored event.
+        """
+        src = np.asarray(src, dtype=np.int64).reshape(-1)
+        dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        timestamps = np.asarray(timestamps, dtype=np.float64).reshape(-1)
+        edge_features = np.asarray(edge_features, dtype=np.float64)
+        if edge_features.ndim == 1:
+            edge_features = edge_features.reshape(len(src), -1) if self.edge_feature_dim \
+                else edge_features.reshape(len(src), 0)
+        if labels is None:
+            labels = np.zeros(len(src))
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if not (len(src) == len(dst) == len(timestamps) == len(edge_features) == len(labels)):
+            raise ValueError("event arrays must have equal length")
+        if len(src) == 0:
+            return np.empty(0, dtype=np.int64)
+        if edge_features.shape[1] != self.edge_feature_dim:
+            raise ValueError(
+                f"edge feature dim mismatch: expected {self.edge_feature_dim}, "
+                f"got {edge_features.shape[1]}"
+            )
+        if np.any(np.diff(timestamps) < 0):
+            raise ValueError("events must be sorted by timestamp")
+        if timestamps[0] < self._last_timestamp:
+            raise ValueError(
+                f"events must be appended in chronological order "
+                f"(got {timestamps[0]} after {self._last_timestamp})"
+            )
+        for nodes in (src, dst):
+            if len(nodes) and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+                raise IndexError("node id out of range")
+
+        count = self._num_events
+        block = len(src)
+        self._reserve(count + block)
+        stop = count + block
+        self._src_col[count:stop] = src
+        self._dst_col[count:stop] = dst
+        self._time_col[count:stop] = timestamps
+        self._label_col[count:stop] = labels
+        self._feature_col[count:stop] = edge_features
+        edge_ids = np.arange(count, stop, dtype=np.int64)
+        # Interleave so incidence stays in per-event (src entry, dst entry)
+        # order — the order neighbour queries and the CSR build rely on.
+        self._inc_node[2 * count:2 * stop:2] = src
+        self._inc_node[2 * count + 1:2 * stop:2] = dst
+        self._inc_neighbor[2 * count:2 * stop:2] = dst
+        self._inc_neighbor[2 * count + 1:2 * stop:2] = src
+        self._inc_edge[2 * count:2 * stop:2] = edge_ids
+        self._inc_edge[2 * count + 1:2 * stop:2] = edge_ids
+        self._num_events = stop
+        self._last_timestamp = float(timestamps[-1])
+        return edge_ids
+
+    def _reserve(self, needed: int) -> None:
+        self._src_col = _grow(self._src_col, needed)
+        self._dst_col = _grow(self._dst_col, needed)
+        self._time_col = _grow(self._time_col, needed)
+        self._label_col = _grow(self._label_col, needed)
+        self._feature_col = _grow(self._feature_col, needed)
+        self._inc_node = _grow(self._inc_node, 2 * needed)
+        self._inc_neighbor = _grow(self._inc_neighbor, 2 * needed)
+        self._inc_edge = _grow(self._inc_edge, 2 * needed)
+
+    # ------------------------------------------------------------------ #
+    # CSR adjacency view
+    # ------------------------------------------------------------------ #
+    def _refresh_csr(self) -> None:
+        """Fold incidence entries ``[_csr_built, 2 * num_events)`` into the view.
+
+        Because events arrive chronologically, each node's new entries belong
+        at the *tail* of its CSR segment — so the update is a stable counting
+        sort of the new block plus two scatter copies, all O(built + new)
+        array work with memcpy-grade constants (no comparison sort of the
+        full history per refresh).
+        """
+        total = 2 * self._num_events
+        new_nodes = self._inc_node[self._csr_built:total]
+        order = np.argsort(new_nodes, kind="stable")
+        new_nodes = new_nodes[order]
+        new_counts = np.bincount(new_nodes, minlength=self.num_nodes)
+        new_indptr = self._csr_indptr.copy()
+        new_indptr[1:] += np.cumsum(new_counts)
+
+        merged_nodes = np.empty(total, dtype=np.int64)
+        merged_neighbors = np.empty(total, dtype=np.int64)
+        merged_edge_ids = np.empty(total, dtype=np.int64)
+        # Old entries keep their within-segment position; the whole segment
+        # shifts by the number of new entries inserted before it.
+        old_positions = np.arange(self._csr_built) \
+            + (new_indptr[self._csr_nodes] - self._csr_indptr[self._csr_nodes])
+        merged_nodes[old_positions] = self._csr_nodes
+        merged_neighbors[old_positions] = self._csr_neighbors
+        merged_edge_ids[old_positions] = self._csr_edge_ids
+        # New entries land at their segment's tail, in block (= time) order:
+        # new segment start + old segment length + rank within the node's
+        # slice of the sorted new block.
+        group_starts = np.concatenate(([0], np.cumsum(new_counts)[:-1]))
+        segment_rank = np.arange(len(new_nodes)) - group_starts[new_nodes]
+        old_degrees = np.diff(self._csr_indptr)
+        new_positions = new_indptr[new_nodes] + old_degrees[new_nodes] + segment_rank
+        merged_nodes[new_positions] = new_nodes
+        merged_neighbors[new_positions] = self._inc_neighbor[self._csr_built:total][order]
+        merged_edge_ids[new_positions] = self._inc_edge[self._csr_built:total][order]
+
+        self._csr_indptr = new_indptr
+        self._csr_nodes = merged_nodes
+        self._csr_neighbors = merged_neighbors
+        self._csr_edge_ids = merged_edge_ids
+        self._csr_times = self._time_col[:self._num_events][merged_edge_ids] \
+            if self._num_events else np.empty(0, dtype=np.float64)
+        self._csr_built = total
+
+    def csr_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat CSR adjacency: ``(indptr, neighbors, edge_ids, timestamps)``.
+
+        ``indptr`` has length ``num_nodes + 1``; node ``v``'s temporal
+        neighbourhood is the slice ``[indptr[v], indptr[v + 1])`` of the three
+        data arrays, in chronological order.  The view is cached and updated
+        incrementally after appends, so batch neighbour queries amortise to
+        pure array indexing.  Callers must treat the arrays as read-only.
+        """
+        if self._csr_built != 2 * self._num_events:
+            self._refresh_csr()
+        return self._csr_indptr, self._csr_neighbors, self._csr_edge_ids, self._csr_times
 
     # ------------------------------------------------------------------ #
     # Basic accessors
     # ------------------------------------------------------------------ #
     @property
     def num_events(self) -> int:
-        return len(self._src)
+        return self._num_events
 
     @property
     def src(self) -> np.ndarray:
-        return np.asarray(self._src, dtype=np.int64)
+        return self._src_col[:self._num_events]
 
     @property
     def dst(self) -> np.ndarray:
-        return np.asarray(self._dst, dtype=np.int64)
+        return self._dst_col[:self._num_events]
 
     @property
     def timestamps(self) -> np.ndarray:
-        return np.asarray(self._timestamps, dtype=np.float64)
+        return self._time_col[:self._num_events]
 
     @property
     def labels(self) -> np.ndarray:
-        return np.asarray(self._labels, dtype=np.float64)
+        return self._label_col[:self._num_events]
 
     @property
     def edge_features(self) -> np.ndarray:
-        if not self._edge_features:
-            return np.zeros((0, self.edge_feature_dim))
-        return np.stack(self._edge_features)
+        return self._feature_col[:self._num_events]
 
     def edge_features_for(self, edge_ids: np.ndarray) -> np.ndarray:
         """Edge feature rows for the given edge ids (no full-matrix copy).
@@ -197,20 +331,21 @@ class TemporalGraph:
         Ids of ``-1`` (padding from neighbour samplers) return zero rows.
         """
         edge_ids = np.asarray(edge_ids, dtype=np.int64).reshape(-1)
+        valid = (edge_ids >= 0) & (edge_ids < self._num_events)
         out = np.zeros((len(edge_ids), self.edge_feature_dim))
-        for row, edge_id in enumerate(edge_ids):
-            if 0 <= edge_id < len(self._edge_features):
-                out[row] = self._edge_features[edge_id]
+        out[valid] = self._feature_col[edge_ids[valid]]
         return out
 
     def interaction(self, edge_id: int) -> Interaction:
+        if not 0 <= edge_id < self._num_events:
+            raise IndexError(f"edge id out of range: {edge_id}")
         return Interaction(
-            src=self._src[edge_id],
-            dst=self._dst[edge_id],
-            timestamp=self._timestamps[edge_id],
-            edge_feature=self._edge_features[edge_id],
+            src=int(self._src_col[edge_id]),
+            dst=int(self._dst_col[edge_id]),
+            timestamp=float(self._time_col[edge_id]),
+            edge_feature=self._feature_col[edge_id],
             edge_id=edge_id,
-            label=self._labels[edge_id],
+            label=float(self._label_col[edge_id]),
         )
 
     def interactions(self, start: int = 0, stop: int | None = None):
@@ -221,13 +356,13 @@ class TemporalGraph:
 
     def degree(self, node: int, before: float | None = None) -> int:
         """Number of events the node participated in (optionally before a time)."""
-        adjacency = self._adjacency.get(node)
-        if adjacency is None:
+        if not 0 <= node < self.num_nodes:
             return 0
+        indptr, _, _, times = self.csr_view()
+        start, stop = int(indptr[node]), int(indptr[node + 1])
         if before is None:
-            return adjacency.length
-        neighbors, _, _ = adjacency.before(before)
-        return len(neighbors)
+            return stop - start
+        return int(np.searchsorted(times[start:stop], before, side="left"))
 
     def node_events(self, node: int, before: float | None = None,
                     strict: bool = True) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -235,21 +370,23 @@ class TemporalGraph:
 
         If ``before`` is given, only events strictly earlier (``strict=True``)
         or earlier-or-equal (``strict=False``) are returned, in chronological
-        order.
+        order.  Ids outside ``[0, num_nodes)`` (e.g. the samplers' ``-1``
+        padding sentinel) have no history and return empty arrays.
         """
-        adjacency = self._adjacency.get(node)
-        if adjacency is None:
-            empty_i = np.empty(0, dtype=np.int64)
-            return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
-        if before is None:
-            count = adjacency.length
-            return (adjacency.neighbors[:count], adjacency.edge_ids[:count],
-                    adjacency.timestamps[:count])
-        return adjacency.before(before, strict=strict)
+        if not 0 <= node < self.num_nodes:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=np.float64)
+        indptr, neighbors, edge_ids, times = self.csr_view()
+        start, stop = int(indptr[node]), int(indptr[node + 1])
+        if before is not None:
+            side = "left" if strict else "right"
+            stop = start + int(np.searchsorted(times[start:stop], before, side=side))
+        return neighbors[start:stop], edge_ids[start:stop], times[start:stop]
 
     def active_nodes(self) -> np.ndarray:
         """Nodes that appear in at least one event."""
-        return np.asarray(sorted(self._adjacency), dtype=np.int64)
+        indptr, _, _, _ = self.csr_view()
+        return np.where(np.diff(indptr) > 0)[0].astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Slicing
@@ -265,11 +402,13 @@ class TemporalGraph:
         return self._subset(np.arange(start, min(stop, self.num_events)))
 
     def _subset(self, indices: np.ndarray) -> "TemporalGraph":
+        indices = np.asarray(indices, dtype=np.int64)
         subset = TemporalGraph(self.num_nodes, self.edge_feature_dim)
-        for edge_id in indices:
-            event = self.interaction(int(edge_id))
-            subset.add_interaction(event.src, event.dst, event.timestamp,
-                                   event.edge_feature, label=event.label)
+        subset.add_interactions(
+            self._src_col[indices], self._dst_col[indices],
+            self._time_col[indices], self._feature_col[indices],
+            self._label_col[indices],
+        )
         return subset
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -103,6 +103,28 @@ class TestQueries:
         neighbors, edge_ids, times = build_simple_graph().node_events(4)
         assert len(neighbors) == len(edge_ids) == len(times) == 0
 
+    def test_out_of_range_ids_have_no_history(self):
+        """-1 (the samplers' padding sentinel) and >= num_nodes are empty."""
+        graph = build_simple_graph()
+        for node in (-1, graph.num_nodes, graph.num_nodes + 7):
+            assert graph.degree(node) == 0
+            neighbors, edge_ids, times = graph.node_events(node)
+            assert len(neighbors) == len(edge_ids) == len(times) == 0
+
+    def test_bulk_and_single_appends_interleave(self):
+        """add_interactions blocks and add_interaction events share one view."""
+        graph = TemporalGraph(num_nodes=6, edge_feature_dim=1)
+        graph.add_interactions([0, 1], [1, 2], [1.0, 2.0], np.zeros((2, 1)))
+        assert graph.degree(1) == 2  # incremental CSR refresh
+        graph.add_interaction(2, 3, 3.0, [0.0])
+        ids = graph.add_interactions([3, 0], [4, 1], [4.0, 5.0], np.zeros((2, 1)))
+        np.testing.assert_array_equal(ids, [3, 4])
+        neighbors, edge_ids, times = graph.node_events(3)
+        np.testing.assert_array_equal(neighbors, [2, 4])
+        np.testing.assert_array_equal(times, [3.0, 4.0])
+        assert graph.num_events == 5
+        np.testing.assert_array_equal(graph.node_events(0)[0], [1, 1])
+
     def test_events_are_chronological_per_node(self):
         graph = build_simple_graph()
         _, _, times = graph.node_events(0)

@@ -120,6 +120,113 @@ class TestMailboxProperties:
             valid_times = times[row][valid[row]]
             assert np.all(np.diff(valid_times) >= 0)
 
+    # ----- invariants under duplicate-node batch deliveries ------------- #
+
+    @staticmethod
+    def _duplicate_batches():
+        """Batches of (nodes, timestamps) where nodes repeat within a batch."""
+        return st.lists(
+            st.lists(st.integers(0, 4), min_size=1, max_size=12),
+            min_size=1, max_size=8,
+        )
+
+    @given(_duplicate_batches(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_duplicates_never_exceed_slots(self, batches, num_slots):
+        box = Mailbox(5, num_slots, 2)
+        clock = 0.0
+        for nodes in batches:
+            times = clock + np.arange(len(nodes), dtype=np.float64)
+            clock += len(nodes)
+            box.deliver(np.asarray(nodes), np.tile(times[:, None], (1, 2)), times)
+            assert box.occupancy().max() <= num_slots
+            assert np.all(box._next_slot < num_slots)
+            assert np.all(box._next_slot >= 0)
+
+    @given(_duplicate_batches(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_duplicates_match_sequential_delivery(self, batches, num_slots):
+        """One batched deliver with duplicate nodes == one-at-a-time delivery."""
+        batched = Mailbox(5, num_slots, 2)
+        sequential = Mailbox(5, num_slots, 2)
+        clock = 0.0
+        for nodes in batches:
+            nodes = np.asarray(nodes)
+            times = clock + np.arange(len(nodes), dtype=np.float64)
+            clock += len(nodes)
+            mails = np.tile(times[:, None], (1, 2))
+            batched.deliver(nodes, mails, times)
+            for i in range(len(nodes)):
+                sequential.deliver(nodes[i:i + 1], mails[i:i + 1], times[i:i + 1])
+        np.testing.assert_array_equal(batched.valid, sequential.valid)
+        np.testing.assert_array_equal(batched.mails, sequential.mails)
+        np.testing.assert_array_equal(batched.mail_times, sequential.mail_times)
+        np.testing.assert_array_equal(batched._next_slot, sequential._next_slot)
+        np.testing.assert_array_equal(batched._delivered, sequential._delivered)
+
+    @given(_duplicate_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_newest_overwrite_duplicates_match_sequential_delivery(self, batches):
+        batched = Mailbox(5, 3, 1, update_policy="newest_overwrite")
+        sequential = Mailbox(5, 3, 1, update_policy="newest_overwrite")
+        clock = 0.0
+        for nodes in batches:
+            nodes = np.asarray(nodes)
+            times = clock + np.arange(len(nodes), dtype=np.float64)
+            clock += len(nodes)
+            mails = times[:, None].copy()
+            batched.deliver(nodes, mails, times)
+            for i in range(len(nodes)):
+                sequential.deliver(nodes[i:i + 1], mails[i:i + 1], times[i:i + 1])
+            assert batched.occupancy().max() <= 1
+        np.testing.assert_array_equal(batched.mails, sequential.mails)
+        np.testing.assert_array_equal(batched.valid, sequential.valid)
+        np.testing.assert_array_equal(batched._delivered, sequential._delivered)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_monotone_until_full(self, nodes):
+        """Per-node occupancy never decreases, and saturates at num_slots."""
+        box = Mailbox(4, 3, 1)
+        previous = box.occupancy().copy()
+        for step, node in enumerate(nodes):
+            t = float(step)
+            box.deliver(np.array([node]), np.array([[t]]), np.array([t]))
+            current = box.occupancy()
+            assert np.all(current >= previous)
+            assert current.max() <= 3
+            previous = current.copy()
+        np.testing.assert_array_equal(
+            previous, np.minimum(box._delivered, 3))
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_reservoir_delivered_counter_is_consistent(self, nodes, num_slots):
+        """Reservoir counts every delivery, kept or not, and fills before sampling."""
+        box = Mailbox(4, num_slots, 1, update_policy="reservoir", seed=0)
+        expected = np.zeros(4, dtype=np.int64)
+        for step, node in enumerate(nodes):
+            t = float(step)
+            box.deliver(np.array([node]), np.array([[t]]), np.array([t]))
+            expected[node] += 1
+        np.testing.assert_array_equal(box._delivered, expected)
+        np.testing.assert_array_equal(box.occupancy(),
+                                      np.minimum(expected, num_slots))
+
+    @given(st.lists(st.tuples(st.integers(0, 3),
+                              st.floats(0, 100, allow_nan=False)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_read_valid_times_nondecreasing_all_policies(self, deliveries):
+        for policy in ("fifo", "reservoir", "newest_overwrite"):
+            box = Mailbox(4, 4, 1, update_policy=policy, seed=1)
+            for node, t in deliveries:
+                box.deliver(np.array([node]), np.array([[t]]), np.array([t]))
+            _, times, valid = box.read(np.arange(4), sort_by_time=True)
+            for row in range(4):
+                assert np.all(np.diff(times[row][valid[row]]) >= 0)
+
 
 class TestTemporalGraphProperties:
     @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
