@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast equivalence bench
+.PHONY: test test-fast equivalence bench docs-check
 
 ## Tier-1: the full suite (unit tests + paper benchmarks), as CI runs it.
 test:
@@ -10,11 +10,19 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -q tests/
 
-## Prove the vectorized propagation engine matches the reference engine.
+## Prove the vectorized propagation + encoder engines match their reference
+## engines.
 equivalence:
-	$(PYTHON) -m pytest -q tests/core/test_propagation_equivalence.py tests/property/
+	$(PYTHON) -m pytest -q tests/core/test_propagation_equivalence.py \
+		tests/core/test_encoder_equivalence.py tests/property/
 
-## Measure both propagation engines on the 10k-event synthetic stream and
-## write BENCH_propagation.json (the perf trajectory future PRs compare to).
+## Measure both engine pairs (propagation and encoder) on the 10k-event
+## synthetic stream and write BENCH_propagation.json / BENCH_encoder.json
+## (the perf trajectory future PRs compare to).
 bench:
-	$(PYTHON) -m pytest -q benchmarks/test_propagation_throughput.py -s
+	$(PYTHON) -m pytest -q benchmarks/test_propagation_throughput.py \
+		benchmarks/test_encoder_throughput.py -s
+
+## Verify every file path referenced by README.md / docs/ resolves.
+docs-check:
+	$(PYTHON) -m pytest -q tests/test_docs_links.py

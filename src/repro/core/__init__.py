@@ -6,7 +6,7 @@ from .decoder import EdgeClassificationDecoder, LinkPredictionDecoder, NodeClass
 from .encoder import APANEncoder
 from .interfaces import BatchEmbeddings, TemporalEmbeddingModel
 from .interpret import MailAttribution, explain_node
-from .mailbox import Mailbox
+from .mailbox import Mailbox, MailboxGather
 from .model import APAN
 from .propagator import (
     MailPropagator,
@@ -21,6 +21,7 @@ __all__ = [
     "APANConfig",
     "APANEncoder",
     "Mailbox",
+    "MailboxGather",
     "MailPropagator",
     "ReferencePropagator",
     "VectorizedPropagator",

@@ -37,6 +37,11 @@ class APANConfig:
     mlp_hidden_dim: int = 80
     dropout: float = 0.1
     positional_encoding: str = "learned"
+    # Which encoder execution engine to run: "vectorized" (whole-batch masked
+    # attention over the dense mailbox stack, the fast default) or
+    # "reference" (the per-node oracle loop that
+    # tests/core/test_encoder_equivalence.py checks the fast path against).
+    encoder_engine: str = "vectorized"
 
     # Optimisation
     learning_rate: float = 1e-4
@@ -68,6 +73,8 @@ class APANConfig:
             raise ValueError("num_attention_heads must be positive")
         if self.propagation_engine not in ("reference", "vectorized"):
             raise ValueError("propagation_engine must be 'reference' or 'vectorized'")
+        if self.encoder_engine not in ("reference", "vectorized"):
+            raise ValueError("encoder_engine must be 'reference' or 'vectorized'")
         return self
 
     def as_dict(self) -> dict:

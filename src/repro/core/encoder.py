@@ -13,18 +13,40 @@ The encoder turns a node's *last* embedding ``z(t-)`` and its mailbox
 4. **MLP head** — a two-layer feed-forward network produces the new embedding.
 
 No graph query happens anywhere in this module — that is the point of APAN.
+
+Engines
+-------
+Like the mail propagator, the encoder has two interchangeable execution
+engines behind :meth:`APANEncoder.encode_many` (selected by
+``APANConfig.encoder_engine``):
+
+* ``engine="reference"`` — encode one node at a time, exactly as the paper's
+  per-event description reads.  Slow (a Python-level loop over the batch),
+  but trivially auditable; it defines the semantics.
+* ``engine="vectorized"`` (the default) — run positional encoding, masked
+  multi-head attention, LayerNorm and the MLP head over the *whole* dense
+  ``(N, num_slots, dim)`` mailbox stack in single array ops.
+
+Both engines run through the same parameter set and the same autograd ops,
+so they agree to within 1e-9 whenever dropout is inactive (eval mode, or
+``dropout=0.0``) — ``tests/core/test_encoder_equivalence.py`` asserts this.
+With dropout *active* the engines draw different random masks (one draw per
+node versus one draw per batch) and are only equal in distribution.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..nn import functional as F
 from ..nn.attention import MultiHeadAttention
 from ..nn.layers import Dropout, Embedding, LayerNorm, MLP, TimeEncode
 from ..nn.module import Module
 from ..nn.tensor import Tensor
 
 __all__ = ["APANEncoder"]
+
+_ENGINE_CHOICES = ("reference", "vectorized")
 
 
 class APANEncoder(Module):
@@ -33,14 +55,18 @@ class APANEncoder(Module):
     def __init__(self, embedding_dim: int, num_slots: int, num_heads: int = 2,
                  hidden_dim: int = 80, dropout: float = 0.1,
                  positional_encoding: str = "learned",
+                 engine: str = "vectorized",
                  rng: np.random.Generator | None = None):
         super().__init__()
         if positional_encoding not in ("learned", "time"):
             raise ValueError("positional_encoding must be 'learned' or 'time'")
+        if engine not in _ENGINE_CHOICES:
+            raise ValueError(f"engine must be one of {_ENGINE_CHOICES}")
         rng = rng if rng is not None else np.random.default_rng()
         self.embedding_dim = embedding_dim
         self.num_slots = num_slots
         self.positional_encoding = positional_encoding
+        self.engine = engine
 
         if positional_encoding == "learned":
             self.position_embedding = Embedding(num_slots, embedding_dim, rng=rng)
@@ -72,27 +98,59 @@ class APANEncoder(Module):
         encoded = self.time_encoding(deltas.reshape(-1))
         return mails_tensor + encoded.reshape(mails.shape[0], self.num_slots, -1)
 
-    def forward(self, last_embeddings: Tensor, mails: np.ndarray,
-                mail_times: np.ndarray, valid: np.ndarray,
-                current_time: float) -> Tensor:
-        """Compute z(t) for a batch of nodes.
+    # ------------------------------------------------------------------ #
+    # Public batch entry point (engine dispatch)
+    # ------------------------------------------------------------------ #
+    def encode_many(self, last_embeddings: Tensor, mails: np.ndarray,
+                    mail_times: np.ndarray, valid: np.ndarray,
+                    current_time: float, engine: str | None = None) -> Tensor:
+        """Compute z(t) for a batch of nodes from a dense mailbox stack.
 
         Parameters
         ----------
         last_embeddings:
-            ``(batch, d)`` tensor of z(t-), the embeddings from each node's
+            ``(N, d)`` tensor of z(t-), the embeddings from each node's
             previous interaction (zeros for never-seen nodes).
         mails, mail_times, valid:
-            The mailbox read for these nodes (see :meth:`Mailbox.read`).
+            The dense ``(N, num_slots, d)`` mailbox stack with its timestamp
+            and validity arrays, as returned by :meth:`Mailbox.read` or
+            :meth:`Mailbox.gather_many`.
         current_time:
             Time of the current batch (used only by the time-encoding variant).
+        engine:
+            Optional override of the engine chosen at construction time
+            (``"reference"`` or ``"vectorized"``).
         """
+        engine = self.engine if engine is None else engine
+        if engine not in _ENGINE_CHOICES:
+            raise ValueError(f"engine must be one of {_ENGINE_CHOICES}")
         batch_size = last_embeddings.shape[0]
         if mails.shape[:2] != (batch_size, self.num_slots):
             raise ValueError(
                 f"mailbox shape {mails.shape} does not match "
                 f"(batch={batch_size}, slots={self.num_slots})"
             )
+        if engine == "reference":
+            return self._encode_reference(last_embeddings, mails, mail_times,
+                                          valid, current_time)
+        return self._encode_vectorized(last_embeddings, mails, mail_times,
+                                       valid, current_time)
+
+    def forward(self, last_embeddings: Tensor, mails: np.ndarray,
+                mail_times: np.ndarray, valid: np.ndarray,
+                current_time: float) -> Tensor:
+        """Alias of :meth:`encode_many` with the constructed engine."""
+        return self.encode_many(last_embeddings, mails, mail_times, valid,
+                                current_time)
+
+    # ------------------------------------------------------------------ #
+    # Engine implementations
+    # ------------------------------------------------------------------ #
+    def _encode_vectorized(self, last_embeddings: Tensor, mails: np.ndarray,
+                           mail_times: np.ndarray, valid: np.ndarray,
+                           current_time: float) -> Tensor:
+        """Whole-batch array ops: one attention / LayerNorm / MLP call for N nodes."""
+        batch_size = last_embeddings.shape[0]
         keyed_mailbox = self.encode_mailbox(mails, mail_times, current_time)
         query = last_embeddings.reshape(batch_size, 1, self.embedding_dim)
         attended = self.attention(query, keyed_mailbox, keyed_mailbox, mask=valid)
@@ -105,6 +163,33 @@ class APANEncoder(Module):
         normalised = self.layer_norm(residual)
         normalised = self.dropout(normalised)
         return self.head(normalised)
+
+    def _encode_reference(self, last_embeddings: Tensor, mails: np.ndarray,
+                          mail_times: np.ndarray, valid: np.ndarray,
+                          current_time: float) -> Tensor:
+        """Per-node oracle loop: the batch is processed one node at a time.
+
+        Every row runs the exact same module stack as the vectorized engine,
+        so parameters, gradients and (with dropout inactive) outputs line up;
+        the per-row attention weights are re-stitched so interpretability
+        tooling sees the same ``(N, heads, 1, num_slots)`` array either way.
+        """
+        batch_size = last_embeddings.shape[0]
+        if batch_size == 0:
+            return self._encode_vectorized(last_embeddings, mails, mail_times,
+                                           valid, current_time)
+        outputs: list[Tensor] = []
+        weights: list[np.ndarray] = []
+        for row in range(batch_size):
+            out = self._encode_vectorized(
+                last_embeddings[row:row + 1],
+                mails[row:row + 1], mail_times[row:row + 1],
+                valid[row:row + 1], current_time,
+            )
+            outputs.append(out)
+            weights.append(self.attention.last_attention_weights)
+        self.attention._last_attention = np.concatenate(weights, axis=0)
+        return F.concat(outputs, axis=0)
 
     @property
     def last_attention_weights(self) -> np.ndarray | None:

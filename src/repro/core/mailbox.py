@@ -5,12 +5,19 @@ the summary of one (reduced batch of) interaction(s) that happened in the
 node's k-hop temporal neighbourhood, labelled with its timestamp.  The mailbox
 supports exactly the operations the paper's asynchronous framework needs:
 
-* :meth:`deliver` — ψ, the FIFO update: push one mail per node, evicting the
-  oldest when full;
+* :meth:`deliver` — ψ, the mailbox update: push a whole batch of mails (one
+  or several per node — duplicates are resolved with vectorised
+  sequential-equivalent semantics), evicting the oldest when full;
 * :meth:`read` — return the dense ``(len(nodes), num_slots, mail_dim)`` view
   plus a validity mask and the mail timestamps, *sorted by timestamp* (the
   paper notes that sorting on read makes the model robust to out-of-order
   event arrival in distributed streaming systems);
+* :meth:`gather_many` — the batched-encoder entry point: concatenate several
+  node-id arrays (e.g. sources, destinations and negatives of one event
+  batch), deduplicate them, and read each distinct mailbox exactly once,
+  returning the stacked mails, validity masks and the inverse map back to
+  the caller's order (consumed by
+  :meth:`repro.core.encoder.APANEncoder.encode_many`);
 * alternative update policies (``reservoir``, ``newest_overwrite``) used by
   the ablation benchmarks.
 
@@ -21,9 +28,39 @@ free of graph queries.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["Mailbox"]
+__all__ = ["Mailbox", "MailboxGather"]
+
+
+@dataclass
+class MailboxGather:
+    """Deduplicated batched mailbox read returned by :meth:`Mailbox.gather_many`.
+
+    Attributes
+    ----------
+    nodes:
+        ``(U,)`` sorted distinct node ids actually read.
+    inverse:
+        ``(N,)`` indices with ``nodes[inverse]`` equal to the concatenation of
+        the query groups — row ``i`` of the caller's flattened query is served
+        by stacked row ``inverse[i]``.
+    mails, times, valid:
+        Dense stacks of shape ``(U, num_slots, mail_dim)``, ``(U, num_slots)``
+        and ``(U, num_slots)`` — exactly what :meth:`Mailbox.read` returns for
+        ``nodes``.
+    """
+
+    nodes: np.ndarray
+    inverse: np.ndarray
+    mails: np.ndarray
+    times: np.ndarray
+    valid: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.nodes)
 
 _UPDATE_POLICIES = ("fifo", "reservoir", "newest_overwrite")
 
@@ -75,12 +112,16 @@ class Mailbox:
     # ------------------------------------------------------------------ #
     def deliver(self, nodes: np.ndarray, mails: np.ndarray,
                 timestamps: np.ndarray) -> None:
-        """Deliver one mail per node (ψ update).
+        """Deliver a batch of mails (ψ update), one row per receiving slot write.
 
-        ``nodes`` may contain duplicates — callers are expected to have
-        already reduced multiple mails per node with ρ (see
-        :class:`repro.core.propagator.MailPropagator`); if duplicates remain
-        they are applied in order, which matches sequential delivery.
+        The whole batch is applied with vectorised array ops — no per-mail
+        Python loop, except the ``reservoir`` policy's duplicate-node
+        fallback, whose draws depend on the running delivered counter.
+        ``nodes`` may contain duplicates
+        (callers usually reduce multiple mails per node with ρ first, see
+        :class:`repro.core.propagator.MailPropagator`); duplicates are
+        resolved exactly as sequential in-order delivery would resolve them,
+        which the duplicate-delivery property tests assert.
         """
         nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
         mails = np.asarray(mails, dtype=np.float64)
@@ -231,3 +272,27 @@ class Mailbox:
         order = np.argsort(sort_keys, axis=1, kind="stable")
         rows = np.arange(len(nodes))[:, None]
         return mails[rows, order], times[rows, order], valid[rows, order]
+
+    def gather_many(self, *node_groups: np.ndarray,
+                    sort_by_time: bool = True) -> MailboxGather:
+        """Deduplicate several node-id arrays and read each mailbox once.
+
+        This is the storage half of the batched encoder path: the caller
+        passes every group of nodes it needs embeddings for (for one event
+        batch that is sources, destinations, and — during training — sampled
+        negatives), and gets back one dense ``(U, num_slots, mail_dim)``
+        mailbox stack over the ``U`` *distinct* nodes, plus the ``inverse``
+        map that scatters the encoded rows back to the concatenated query
+        order.  Encoding each distinct node exactly once is both cheaper and
+        required for consistency (paper §3.2: a node appearing several times
+        in a batch shares one embedding).
+        """
+        if not node_groups:
+            raise ValueError("gather_many requires at least one node group")
+        flat = np.concatenate(
+            [np.asarray(group, dtype=np.int64).reshape(-1) for group in node_groups]
+        )
+        nodes, inverse = np.unique(flat, return_inverse=True)
+        mails, times, valid = self.read(nodes, sort_by_time=sort_by_time)
+        return MailboxGather(nodes=nodes, inverse=inverse.reshape(-1),
+                             mails=mails, times=times, valid=valid)

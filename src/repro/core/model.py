@@ -78,6 +78,7 @@ class APAN(TemporalEmbeddingModel):
             hidden_dim=config.mlp_hidden_dim,
             dropout=config.dropout,
             positional_encoding=config.positional_encoding,
+            engine=config.encoder_engine,
             rng=rng,
         )
         self.link_decoder = LinkPredictionDecoder(
@@ -134,33 +135,41 @@ class APAN(TemporalEmbeddingModel):
     # Synchronous inference path
     # ------------------------------------------------------------------ #
     def _encode_nodes(self, nodes: np.ndarray, current_time: float) -> Tensor:
-        """Run the encoder for a set of (not necessarily unique) nodes."""
+        """Run the batched encoder for a set of (not necessarily unique) nodes."""
         nodes = np.asarray(nodes, dtype=np.int64)
         last_embeddings = Tensor(self.node_state[nodes])
         mails, mail_times, valid = self.mailbox.read(nodes)
-        return self.encoder(last_embeddings, mails, mail_times, valid, current_time)
+        return self.encoder.encode_many(last_embeddings, mails, mail_times,
+                                        valid, current_time)
 
     def compute_embeddings(self, batch: EventBatch) -> BatchEmbeddings:
         """Produce embeddings for batch endpoints (and negatives, if sampled).
 
-        Nodes that appear multiple times in the batch are encoded only once
-        (paper §3.2) and their embedding is shared across the events.
+        All endpoints (and negatives) go through **one** batched encoder call:
+        :meth:`Mailbox.gather_many` deduplicates the node ids and stacks their
+        mailboxes, :meth:`APANEncoder.encode_many` encodes the distinct nodes
+        in single array ops, and the ``inverse`` map scatters the rows back to
+        per-event positions.  Nodes that appear multiple times in the batch
+        are therefore encoded only once (paper §3.2) and their embedding is
+        shared across the events.
         """
         current_time = batch.end_time
         to_encode = [batch.src, batch.dst]
         if batch.negatives is not None:
             to_encode.append(batch.negatives)
-        all_nodes = np.concatenate(to_encode)
-        unique_nodes, inverse = np.unique(all_nodes, return_inverse=True)
+        gather = self.mailbox.gather_many(*to_encode)
 
-        unique_embeddings = self._encode_nodes(unique_nodes, current_time)
-        gathered = unique_embeddings.gather_rows(inverse)
+        unique_embeddings = self.encoder.encode_many(
+            Tensor(self.node_state[gather.nodes]),
+            gather.mails, gather.times, gather.valid, current_time,
+        )
+        gathered = unique_embeddings.gather_rows(gather.inverse)
 
         count = len(batch)
         src_embeddings = gathered[0:count]
         dst_embeddings = gathered[count:2 * count]
         neg_embeddings = gathered[2 * count:3 * count] if batch.negatives is not None else None
-        self._last_unique_nodes = unique_nodes
+        self._last_unique_nodes = gather.nodes
         self._last_unique_embeddings = unique_embeddings.data
         return BatchEmbeddings(src=src_embeddings, dst=dst_embeddings, neg=neg_embeddings)
 

@@ -4,6 +4,11 @@ The trainer implements the protocol shared by APAN and all dynamic baselines
 (paper §4.2/§4.4):
 
 * chronological mini-batches (default size 200) over the training window;
+* one batched encoder call per step: sources, destinations and sampled
+  negatives are deduplicated and encoded together inside
+  ``model.compute_embeddings`` (APAN routes this through
+  ``Mailbox.gather_many`` + ``APANEncoder.encode_many``), so the training
+  hot path never encodes per event;
 * time-varying negative sampling (Eq. 7) and a BCE loss on positive vs.
   negative destination scores;
 * Adam with learning rate 1e-4 and gradient clipping;
@@ -91,6 +96,7 @@ class LinkPredictionTrainer:
         losses: list[float] = []
         for batch in iterate_batches(self.graph, self.batch_size, stop=self.train_end):
             batch = batch.with_negatives(sampler.sample(batch))
+            # Single batched encode of all endpoints + negatives (deduplicated).
             embeddings = model.compute_embeddings(batch)
             positive = model.link_logits(embeddings.src, embeddings.dst)
             negative = model.link_logits(embeddings.src, embeddings.neg)

@@ -16,6 +16,7 @@ import numpy as np
 from ..core.interfaces import TemporalEmbeddingModel
 from ..graph.batching import iterate_batches
 from ..graph.temporal_graph import TemporalGraph
+from ..nn import functional as F
 from ..nn.tensor import no_grad
 from .metrics import accuracy, average_precision
 from .negative_sampling import TimeAwareNegativeSampler
@@ -60,11 +61,17 @@ def evaluate_link_prediction(model: TemporalEmbeddingModel, graph: TemporalGraph
     with no_grad():
         for batch in iterate_batches(graph, batch_size, start=start, stop=stop):
             batch = batch.with_negatives(negative_sampler.sample(batch))
+            # One batched encoder call covers sources, destinations and
+            # negatives (compute_embeddings deduplicates via
+            # Mailbox.gather_many), and one decoder call scores the positive
+            # and negative pairs together — the decoder is row-wise, so
+            # stacking the pairs changes nothing numerically in eval mode.
             embeddings = model.compute_embeddings(batch)
-            positive_logits = model.link_logits(embeddings.src, embeddings.dst).data
-            negative_logits = model.link_logits(embeddings.src, embeddings.neg).data
-            scores.append(1.0 / (1.0 + np.exp(-positive_logits)))
-            scores.append(1.0 / (1.0 + np.exp(-negative_logits)))
+            logits = model.link_logits(
+                F.concat([embeddings.src, embeddings.src], axis=0),
+                F.concat([embeddings.dst, embeddings.neg], axis=0),
+            ).data
+            scores.append(1.0 / (1.0 + np.exp(-logits)))
             labels.append(np.ones(len(batch)))
             labels.append(np.zeros(len(batch)))
             if update_state:

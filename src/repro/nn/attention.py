@@ -4,6 +4,13 @@ The APAN encoder attends from a single query (the node's last embedding
 ``z(t-)``) over the mails stored in the node's mailbox.  The same module is
 reused by the TGAT/TGN baselines, where the query is the node state and the
 keys/values are temporal neighbour representations.
+
+Both entry points are fully batched: a whole frontier of nodes is attended in
+one set of array ops.  Heads live on their own axis (``(batch, heads, len,
+head_dim)``) rather than being folded into the batch axis, so the validity
+mask broadcasts across heads for free instead of being materialised
+``num_heads`` times — this is the attention half of the vectorized encoder
+path (see :meth:`repro.core.encoder.APANEncoder.encode_many`).
 """
 
 from __future__ import annotations
@@ -22,15 +29,18 @@ def scaled_dot_product_attention(query: Tensor, key: Tensor, value: Tensor,
                                  mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
     """Compute ``softmax(QK^T / sqrt(d)) V``.
 
-    Shapes (single head): ``query`` is ``(batch, q_len, d)``, ``key`` and
-    ``value`` are ``(batch, kv_len, d)``.  ``mask`` is a boolean array of shape
-    ``(batch, q_len, kv_len)`` (or broadcastable) marking *valid* key positions.
+    Shapes: ``query`` is ``(..., q_len, d)``, ``key`` and ``value`` are
+    ``(..., kv_len, d)`` with identical leading (batch) axes — a plain
+    ``(batch, ...)`` 3-D layout or the multi-head ``(batch, heads, ...)`` 4-D
+    layout both work.  ``mask`` is a boolean array broadcastable to
+    ``(..., q_len, kv_len)`` marking *valid* key positions.
 
     Returns the attention output and the attention weights (the weights are
     what the interpretability module in ``repro.core.interpret`` reads).
     """
     dim = query.shape[-1]
-    scores = query.matmul(key.transpose(0, 2, 1)) * (1.0 / np.sqrt(dim))
+    axes = tuple(range(key.ndim - 2)) + (key.ndim - 1, key.ndim - 2)
+    scores = query.matmul(key.transpose(axes)) * (1.0 / np.sqrt(dim))
     if mask is not None:
         weights = F.masked_softmax(scores, np.broadcast_to(mask, scores.shape), axis=-1)
     else:
@@ -92,9 +102,9 @@ class MultiHeadAttention(Module):
         heads, head_dim = self.num_heads, self.head_dim
 
         def split_heads(x: Tensor, length: int) -> Tensor:
+            # (batch, len, heads * head_dim) -> (batch, heads, len, head_dim)
             return (x.reshape(batch, length, heads, head_dim)
-                     .transpose(0, 2, 1, 3)
-                     .reshape(batch * heads, length, head_dim))
+                     .transpose(0, 2, 1, 3))
 
         projected_q = split_heads(query.matmul(self.w_query), q_len)
         projected_k = split_heads(key.matmul(self.w_key), kv_len)
@@ -105,16 +115,15 @@ class MultiHeadAttention(Module):
             mask = np.asarray(mask, dtype=bool)
             if mask.ndim == 2:
                 mask = mask[:, None, :]
-            head_mask = np.repeat(mask, heads, axis=0)
+            # (batch, q_len, kv_len) -> (batch, 1, q_len, kv_len); the head
+            # axis broadcasts, no per-head copy is materialised.
+            head_mask = mask[:, None, :, :]
 
         attended, weights = scaled_dot_product_attention(
             projected_q, projected_k, projected_v, mask=head_mask
         )
-        self._last_attention = (
-            weights.data.reshape(batch, heads, q_len, kv_len).copy()
-        )
+        self._last_attention = weights.data.copy()
 
-        merged = (attended.reshape(batch, heads, q_len, head_dim)
-                          .transpose(0, 2, 1, 3)
+        merged = (attended.transpose(0, 2, 1, 3)
                           .reshape(batch, q_len, heads * head_dim))
         return merged.matmul(self.w_out)

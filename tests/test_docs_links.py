@@ -1,0 +1,77 @@
+"""Documentation link checker: paths referenced by the docs must resolve.
+
+``README.md`` and the files under ``docs/`` name modules, tests, benchmarks
+and other repo files.  Stale paths in documentation are worse than no docs,
+so this suite extracts every file-looking reference — markdown link targets
+and backticked inline paths — and asserts it exists in the working tree.
+CI runs this as a dedicated step (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+    if (REPO_ROOT / "docs").is_dir()
+    else [REPO_ROOT / "README.md"]
+)
+
+# Markdown link targets: [text](target)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Backticked tokens that look like repo file paths.
+_CODE = re.compile(r"`([^`\n]+)`")
+_PATHLIKE = re.compile(r"^[\w./-]+\.(?:py|md|json|yml|yaml|toml|txt|cfg)$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _resolves(target: str, doc: Path) -> bool:
+    target = target.split("#", 1)[0]
+    if not target:
+        return True  # pure anchor
+    return (doc.parent / target).exists() or (REPO_ROOT / target).exists()
+
+
+def extract_references(doc: Path) -> list[str]:
+    """Every file-looking reference in one markdown document."""
+    text = doc.read_text()
+    references: list[str] = []
+    for target in _LINK.findall(text):
+        if not target.startswith(_EXTERNAL):
+            references.append(target)
+    for code in _CODE.findall(text):
+        for token in code.split():
+            # Only treat tokens with a directory component (or repo-root
+            # markdown/config files) as path claims — bare module names like
+            # ``encoder.py`` inside prose are resolved by their section.
+            if _PATHLIKE.match(token) and ("/" in token or
+                                           (REPO_ROOT / token).exists() or
+                                           token.endswith(".md")):
+                references.append(token)
+    return references
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_documents_exist(doc):
+    assert doc.exists(), f"expected documentation file {doc} is missing"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_all_referenced_paths_resolve(doc):
+    broken = [ref for ref in extract_references(doc)
+              if not _resolves(ref, doc)]
+    assert not broken, (
+        f"{doc.relative_to(REPO_ROOT)} references paths that do not exist: "
+        f"{sorted(set(broken))}"
+    )
+
+
+def test_required_docs_present():
+    """The documentation set the repo promises (README + architecture + API)."""
+    for required in ("README.md", "docs/ARCHITECTURE.md", "docs/API.md"):
+        assert (REPO_ROOT / required).exists(), f"{required} is missing"
