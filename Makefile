@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast equivalence bench docs-check
+.PHONY: test test-fast equivalence bench bench-serving docs-check
 
 ## Tier-1: the full suite (unit tests + paper benchmarks), as CI runs it.
 test:
@@ -22,6 +22,13 @@ equivalence:
 bench:
 	$(PYTHON) -m pytest -q benchmarks/test_propagation_throughput.py \
 		benchmarks/test_encoder_throughput.py -s
+
+## Stream a sustained-rate workload through the real multi-process serving
+## runtime and through forced-synchronous propagation; write
+## BENCH_serving.json and assert the async p99 < sync p99 floor.
+## SERVING_BENCH_EVENTS=100000 scales the stream for a local soak.
+bench-serving:
+	$(PYTHON) -m pytest -q benchmarks/test_serving_throughput.py -s
 
 ## Verify every file path referenced by README.md / docs/ resolves.
 docs-check:

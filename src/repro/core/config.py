@@ -80,6 +80,25 @@ class APANConfig:
     def as_dict(self) -> dict:
         return asdict(self)
 
+    def propagator_kwargs(self) -> dict:
+        """Constructor kwargs for :class:`repro.core.propagator.MailPropagator`.
+
+        One place maps config fields to propagator arguments so every
+        consumer — the model, and each worker process of the serving runtime
+        rebuilding an identical propagator from a pickled config — agrees on
+        the mapping.
+        """
+        return {
+            "num_hops": self.num_hops,
+            "num_neighbors": self.num_neighbors,
+            "sampling": self.sampling,
+            "phi": self.mail_phi,
+            "rho": self.mail_rho,
+            "mail_passing": self.mail_passing,
+            "seed": self.seed,
+            "engine": self.propagation_engine,
+        }
+
     def replace(self, **overrides) -> "APANConfig":
         """Return a copy with the given fields replaced."""
         values = self.as_dict()

@@ -28,11 +28,12 @@ free of graph queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
-__all__ = ["Mailbox", "MailboxGather"]
+__all__ = ["Mailbox", "MailboxGather", "SharedMailboxHandle"]
 
 
 @dataclass
@@ -61,6 +62,63 @@ class MailboxGather:
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+@dataclass
+class SharedMailboxHandle:
+    """Picklable description of a shared-memory-backed :class:`Mailbox`.
+
+    Produced by :meth:`Mailbox.share_memory` in the process that owns the
+    mailbox and consumed by :meth:`Mailbox.attach` in worker processes.  It
+    carries the mailbox geometry plus the ``multiprocessing.shared_memory``
+    segment name of each state array, so any process on the machine can map
+    the same physical pages.
+    """
+
+    num_nodes: int
+    num_slots: int
+    mail_dim: int
+    update_policy: str = "fifo"
+    seed: int | None = None
+    segments: dict = field(default_factory=dict)
+
+
+def _shared_array_specs(num_nodes: int, num_slots: int,
+                        mail_dim: int) -> dict[str, tuple[tuple[int, ...], type]]:
+    """Shape/dtype of every Mailbox state array that lives in shared memory.
+
+    ``_next_slot`` and ``_delivered`` are included: delivery mutates them, and
+    workers must see each other's FIFO cursors for in-order delivery to be
+    equivalent to single-process delivery.
+    """
+    return {
+        "mails": ((num_nodes, num_slots, mail_dim), np.float64),
+        "mail_times": ((num_nodes, num_slots), np.float64),
+        "valid": ((num_nodes, num_slots), np.bool_),
+        "_next_slot": ((num_nodes,), np.int64),
+        "_delivered": ((num_nodes,), np.int64),
+    }
+
+
+def _open_shared_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    The attaching process does not own the segment, but before Python 3.13
+    (``track=False``) every ``SharedMemory`` constructor registers with the
+    ``resource_tracker`` — which would let a worker's exit unlink the parent's
+    live memory (spawn) or unbalance the shared tracker (fork).  Suppressing
+    registration during attach is the standard pre-3.13 workaround.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
 
 _UPDATE_POLICIES = ("fifo", "reservoir", "newest_overwrite")
 
@@ -296,3 +354,79 @@ class Mailbox:
         mails, times, valid = self.read(nodes, sort_by_time=sort_by_time)
         return MailboxGather(nodes=nodes, inverse=inverse.reshape(-1),
                              mails=mails, times=times, valid=valid)
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory views (the multi-process serving runtime's key-value
+    # store: scorer and propagation workers map the same physical arrays).
+    # ------------------------------------------------------------------ #
+    @property
+    def is_shared(self) -> bool:
+        """True when the state arrays live in ``multiprocessing.shared_memory``."""
+        return bool(getattr(self, "_shm_segments", None))
+
+    def share_memory(self) -> SharedMailboxHandle:
+        """Move the state arrays into shared-memory segments; return a handle.
+
+        The mailbox keeps working exactly as before (same arrays, same
+        semantics) but its storage now lives in OS shared memory, so worker
+        processes can :meth:`attach` to it and deliver mail that this process
+        observes without any copying.  The calling process owns the segments:
+        call :meth:`release_shared` (or let :class:`ServingRuntime` do it)
+        to copy the state back to private memory and unlink the segments.
+        """
+        if self.is_shared:
+            raise RuntimeError("mailbox state is already in shared memory")
+        self._shm_segments: dict[str, shared_memory.SharedMemory] = {}
+        segment_names: dict[str, str] = {}
+        for name, (shape, dtype) in _shared_array_specs(
+                self.num_nodes, self.num_slots, self.mail_dim).items():
+            current = getattr(self, name)
+            segment = shared_memory.SharedMemory(create=True, size=current.nbytes)
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+            view[:] = current
+            setattr(self, name, view)
+            self._shm_segments[name] = segment
+            segment_names[name] = segment.name
+        return SharedMailboxHandle(
+            num_nodes=self.num_nodes, num_slots=self.num_slots,
+            mail_dim=self.mail_dim, update_policy=self.update_policy,
+            seed=None, segments=segment_names,
+        )
+
+    @classmethod
+    def attach(cls, handle: SharedMailboxHandle) -> "Mailbox":
+        """Map an existing shared-memory mailbox (worker-process side).
+
+        The returned mailbox reads and writes the *same* physical arrays as
+        the process that called :meth:`share_memory`.  The attaching process
+        does not own the segments (see :func:`_open_shared_segment`), and its
+        :meth:`release_shared` merely unmaps.
+        """
+        mailbox = cls(handle.num_nodes, handle.num_slots, handle.mail_dim,
+                      update_policy=handle.update_policy, seed=handle.seed)
+        mailbox._shm_segments = {}
+        mailbox._shm_attached = True
+        for name, (shape, dtype) in _shared_array_specs(
+                handle.num_nodes, handle.num_slots, handle.mail_dim).items():
+            segment = _open_shared_segment(handle.segments[name])
+            setattr(mailbox, name, np.ndarray(shape, dtype=dtype, buffer=segment.buf))
+            mailbox._shm_segments[name] = segment
+        return mailbox
+
+    def release_shared(self) -> None:
+        """Detach from shared memory, copying state back into private arrays.
+
+        In the owning process (the one that called :meth:`share_memory`) this
+        also unlinks the segments, so the mailbox survives with its final
+        state in ordinary memory and no shared-memory files leak.  In an
+        attached process it only unmaps.  No-op for a non-shared mailbox.
+        """
+        if not self.is_shared:
+            return
+        attached = getattr(self, "_shm_attached", False)
+        for name, segment in self._shm_segments.items():
+            setattr(self, name, np.array(getattr(self, name)))
+            segment.close()
+            if not attached:
+                segment.unlink()
+        self._shm_segments = {}

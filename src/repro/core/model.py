@@ -62,14 +62,7 @@ class APAN(TemporalEmbeddingModel):
             mailbox=self.mailbox,
             num_nodes=num_nodes,
             edge_feature_dim=edge_feature_dim,
-            num_hops=config.num_hops,
-            num_neighbors=config.num_neighbors,
-            sampling=config.sampling,
-            phi=config.mail_phi,
-            rho=config.mail_rho,
-            mail_passing=config.mail_passing,
-            seed=config.seed,
-            engine=config.propagation_engine,
+            **config.propagator_kwargs(),
         )
         self.encoder = APANEncoder(
             embedding_dim=embedding_dim,
@@ -176,8 +169,14 @@ class APAN(TemporalEmbeddingModel):
     # ------------------------------------------------------------------ #
     # Asynchronous propagation path
     # ------------------------------------------------------------------ #
-    def update_state(self, batch: EventBatch, embeddings: BatchEmbeddings) -> None:
-        """Refresh node states and run the mail propagator for the batch."""
+    def apply_embedding_updates(self, batch: EventBatch,
+                                embeddings: BatchEmbeddings) -> None:
+        """Refresh ``node_state``/``last_update`` for the batch's endpoints.
+
+        This is the cheap half of :meth:`update_state`; the multi-process
+        serving runtime runs it on the scorer while the heavy mail
+        propagation happens in worker processes.
+        """
         src_data = embeddings.src.data
         dst_data = embeddings.dst.data
 
@@ -190,7 +189,10 @@ class APAN(TemporalEmbeddingModel):
         self.node_state[nodes[order]] = values[order]
         np.maximum.at(self.last_update, nodes, times)
 
-        self.propagator.propagate(batch, src_data, dst_data)
+    def update_state(self, batch: EventBatch, embeddings: BatchEmbeddings) -> None:
+        """Refresh node states and run the mail propagator for the batch."""
+        self.apply_embedding_updates(batch, embeddings)
+        self.propagator.propagate(batch, embeddings.src.data, embeddings.dst.data)
 
     # ------------------------------------------------------------------ #
     # Prediction heads

@@ -149,21 +149,37 @@ class MailPropagator:
     # ------------------------------------------------------------------ #
     # N^k_ij + f + ρ + ψ — propagate and deliver
     # ------------------------------------------------------------------ #
-    def propagate(self, batch: EventBatch, src_embeddings: np.ndarray,
-                  dst_embeddings: np.ndarray) -> PropagationReport:
-        """Run the full asynchronous link for one batch and ingest its events."""
+    def route_and_reduce(self, batch: EventBatch, src_embeddings: np.ndarray,
+                         dst_embeddings: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray, PropagationReport]:
+        """φ + N^k_ij + f + ρ for one batch, **without** delivering or ingesting.
+
+        Returns ``(nodes, mails, times, report)`` ready for
+        :meth:`Mailbox.deliver`.  This is the compute-heavy part of the
+        asynchronous link and is a pure function of the batch, the embeddings
+        and the event store's current contents — the serving runtime's worker
+        processes run it concurrently and serialise only the (cheap) delivery.
+        """
         mails = self.generate_mails(batch, src_embeddings, dst_embeddings)
         receivers, receiver_mails, receiver_times, hop_sizes = self._route_mails(batch, mails)
         reduced_nodes, reduced_mails, reduced_times = self._reduce(
             receivers, receiver_mails, receiver_times
         )
-        self.mailbox.deliver(reduced_nodes, reduced_mails, reduced_times)
         report = PropagationReport(
             num_mails_generated=len(mails),
             num_receivers=len(reduced_nodes),
             num_mails_delivered=len(receivers),
             hop_sizes=hop_sizes,
         )
+        return reduced_nodes, reduced_mails, reduced_times, report
+
+    def propagate(self, batch: EventBatch, src_embeddings: np.ndarray,
+                  dst_embeddings: np.ndarray) -> PropagationReport:
+        """Run the full asynchronous link for one batch and ingest its events."""
+        nodes, mails, times, report = self.route_and_reduce(
+            batch, src_embeddings, dst_embeddings
+        )
+        self.mailbox.deliver(nodes, mails, times)
         self._ingest_events(batch)
         return report
 

@@ -1,13 +1,19 @@
-"""Online-deployment simulation: async queue, storage latency model, simulator."""
+"""Online serving: simulated deployments and the real multi-process runtime."""
 
 from .latency import StorageLatencyModel
 from .queue import AsyncTask, AsyncWorkQueue
-from .service import DeploymentSimulator, ServingReport
+from .runtime import PropagatorSpec, RuntimeConfig, ServingRuntime, StalenessSnapshot
+from .service import SERVING_MODES, DeploymentSimulator, ServingReport
 
 __all__ = [
     "StorageLatencyModel",
     "AsyncTask",
     "AsyncWorkQueue",
+    "PropagatorSpec",
+    "RuntimeConfig",
+    "ServingRuntime",
+    "StalenessSnapshot",
     "DeploymentSimulator",
     "ServingReport",
+    "SERVING_MODES",
 ]

@@ -47,18 +47,37 @@ class AsyncWorkQueue:
         # Each worker is represented by the simulation time at which it
         # becomes free again.
         self._worker_free_at = [0.0] * num_workers
+        self._max_pending_seen = 0
+        self._last_submit_at = float("-inf")
 
     # ------------------------------------------------------------------ #
     def submit(self, now_ms: float, work_ms: float, payload: object = None) -> AsyncTask:
-        """Enqueue a task produced at simulation time ``now_ms``."""
+        """Enqueue a task produced at simulation time ``now_ms``.
+
+        ``now_ms`` must be non-decreasing across calls: the simulation clock
+        only moves forward, and a task enqueued "in the past" would corrupt
+        the lag statistics (its lag would include time before it existed).
+        """
+        if now_ms < self._last_submit_at:
+            raise ValueError(
+                f"non-monotonic submit time: {now_ms} is earlier than the "
+                f"previous submission at {self._last_submit_at}"
+            )
+        self._last_submit_at = now_ms
         task = AsyncTask(enqueued_at=now_ms, work_ms=work_ms, payload=payload)
         self._pending.append(task)
+        self._max_pending_seen = max(self._max_pending_seen, len(self._pending))
         return task
 
     def drain_until(self, now_ms: float) -> list[AsyncTask]:
         """Let workers process pending tasks up to simulation time ``now_ms``.
 
-        Returns the tasks completed by this call, in completion order.
+        Returns the tasks completed by this call, in completion order
+        (``completed_at`` ascending; ties keep FIFO submission order).  With
+        ``num_workers > 1`` completion order differs from dequeue order — a
+        long task dequeued first onto worker B can finish after a short task
+        dequeued next onto worker A — so the dequeue loop's output is sorted
+        before returning, matching the delivery order a real runtime observes.
         """
         completed_now: list[AsyncTask] = []
         while self._pending:
@@ -71,8 +90,10 @@ class AsyncWorkQueue:
             self._pending.popleft()
             self._worker_free_at[worker] = finish
             task.completed_at = finish
-            self._completed.append(task)
             completed_now.append(task)
+        # list.sort is stable, so equal completion times keep FIFO order.
+        completed_now.sort(key=lambda t: t.completed_at)
+        self._completed.extend(completed_now)
         return completed_now
 
     def flush(self) -> list[AsyncTask]:
@@ -95,5 +116,11 @@ class AsyncWorkQueue:
         return sum(task.lag_ms for task in self._completed) / len(self._completed)
 
     def max_queue_depth_reached(self) -> int:
-        """Upper bound on backlog: pending plus completed gives total submitted."""
-        return len(self._completed) + len(self._pending)
+        """Backlog high-water mark: the largest ``pending_count`` ever observed.
+
+        The backlog peaks immediately after a ``submit`` (draining only
+        shrinks it), so the maximum is tracked there.  Note this is *not*
+        the total number of tasks ever submitted: a queue that keeps up can
+        process a million tasks while the backlog never exceeds one.
+        """
+        return self._max_pending_seen

@@ -1,0 +1,517 @@
+"""Real multi-process serving runtime for the asynchronous propagation link.
+
+This is the deployed counterpart of the deterministic simulation in
+:mod:`repro.serving.queue`: instead of *modelling* background workers, it runs
+them.  The paper's central claim (§3.1, Figure 2) is that mail propagation is
+off the decision path on real asynchronous workers; this module makes that
+claim testable on an actual concurrent runtime.
+
+Dataflow
+--------
+::
+
+    scorer (parent process)                 propagation workers (children)
+    ───────────────────────                 ──────────────────────────────
+    read shared mailbox  ──┐                ┌── task queue (one per worker,
+    encode + score         │  submit(batch, │   every batch broadcast to all)
+    apply z updates        ├──────────────► │
+    next batch ◄───────────┘  embeddings)   │  route_and_reduce  (concurrent,
+         ▲                                  │   CPU-heavy: φ, k-hop frontier,
+         │ backpressure: submit blocks      │   f, ρ on a local event store)
+         │ while backlog ≥ max_backlog      │  deliver            (serialised:
+         │                                  │   strict batch order via a shared
+         └───── shared mailbox arrays ◄─────┘   sequence counter)
+                (multiprocessing.shared_memory)
+
+* **Shared-memory mailbox** — :meth:`repro.core.mailbox.Mailbox.share_memory`
+  moves the mailbox state arrays into ``multiprocessing.shared_memory``
+  segments; every worker :meth:`~repro.core.mailbox.Mailbox.attach`-es to the
+  same physical pages, so a delivery is immediately visible to the scorer's
+  next read with zero copying (the paper's key-value store).
+* **Broadcast ingress** — every worker receives every batch because routing
+  batch *n* needs the event store up to batch *n−1*; a worker ingests all
+  batches into its private :class:`~repro.graph.temporal_graph.TemporalGraph`
+  but routes only the batches assigned to it (``seq % num_workers``).
+* **In-order delivery** — routing (the heavy part) runs concurrently across
+  workers; the final ψ write into the shared mailbox is serialised in strict
+  batch order by a shared sequence counter, so the delivered-mail state is
+  *identical* to single-process sequential propagation (the equivalence tests
+  pin this against the simulator, bit for bit, for the deterministic
+  ``fifo``/``newest_overwrite`` policies).
+* **Bounded backlog** — :meth:`ServingRuntime.submit` blocks while
+  ``submitted − delivered ≥ max_backlog``, so memory stays bounded when the
+  stream outruns the workers (backpressure is applied *behind* the decision:
+  the score has already been returned when submit blocks).
+* **Bounded-staleness watermark** — workers advance a shared event-time
+  watermark (the ``end_time`` of the last fully delivered batch).  A decision
+  can report exactly how stale the mailbox snapshot it read was:
+  ``batch.end_time − watermark``, in stream time units.
+* **Graceful drain** — ``close()`` drains the backlog before tearing down;
+  a worker receiving ``SIGTERM`` flushes every task already submitted before
+  exiting, so no mail is ever lost on shutdown.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.mailbox import Mailbox, SharedMailboxHandle
+from ..core.propagator import MailPropagator
+from ..graph.batching import EventBatch
+
+__all__ = [
+    "RuntimeConfig",
+    "PropagatorSpec",
+    "StalenessSnapshot",
+    "ServingRuntime",
+]
+
+
+@dataclass
+class RuntimeConfig:
+    """Deployment knobs of the multi-process serving runtime.
+
+    ``max_backlog`` is the bounded queue depth: the largest number of
+    submitted-but-undelivered propagation batches before ``submit`` blocks.
+    ``start_method`` defaults to ``fork`` where available (cheap worker
+    startup) and falls back to ``spawn``.
+    """
+
+    num_workers: int = 2
+    max_backlog: int = 64
+    start_method: str | None = None
+    # Propagation is background work by definition: workers drop their CPU
+    # priority by this many nice levels so that, on machines with fewer
+    # cores than processes, the scheduler preempts the scorer's decision
+    # path as little as possible (protects p99 decision latency).
+    worker_nice: int = 10
+    submit_timeout_s: float = 120.0
+    drain_timeout_s: float = 300.0
+
+    def validate(self) -> "RuntimeConfig":
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.max_backlog <= 0:
+            raise ValueError("max_backlog must be positive")
+        if self.worker_nice < 0:
+            raise ValueError("worker_nice must be >= 0 (workers never outrank the scorer)")
+        if self.start_method is not None and \
+                self.start_method not in mp.get_all_start_methods():
+            raise ValueError(f"unknown start method {self.start_method!r}")
+        return self
+
+    def resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+@dataclass
+class PropagatorSpec:
+    """Picklable recipe for rebuilding an identical ``MailPropagator``.
+
+    Workers cannot inherit the scorer's propagator object (it owns the
+    mailbox and an unpicklable RNG lineage); instead each worker rebuilds one
+    from this spec, attached to the shared mailbox.  Because the samplers run
+    stateless (pure functions of node, time and seed), every rebuilt
+    propagator routes mail exactly like the original.
+    """
+
+    num_nodes: int
+    edge_feature_dim: int
+    kwargs: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_propagator(cls, propagator: MailPropagator) -> "PropagatorSpec":
+        return cls(
+            num_nodes=propagator.num_nodes,
+            edge_feature_dim=propagator.edge_feature_dim,
+            kwargs={
+                "num_hops": propagator.num_hops,
+                "num_neighbors": propagator.num_neighbors,
+                "sampling": propagator.sampling,
+                "phi": propagator.phi,
+                "rho": propagator.rho,
+                "mail_passing": propagator.mail_passing,
+                "time_decay": propagator.time_decay,
+                "seed": propagator._seed,
+                "engine": propagator.engine,
+            },
+        )
+
+    def build(self, mailbox: Mailbox) -> MailPropagator:
+        return MailPropagator(mailbox=mailbox, num_nodes=self.num_nodes,
+                              edge_feature_dim=self.edge_feature_dim,
+                              **self.kwargs)
+
+
+@dataclass
+class StalenessSnapshot:
+    """What the scorer knows about propagation progress at one instant.
+
+    ``backlog`` counts submitted-but-undelivered batches; ``watermark`` is
+    the event time up to which every mail has been delivered (stream time
+    units); ``staleness_ms`` is the wall-clock age of the oldest
+    still-undelivered propagation task (0.0 when the mailbox is fully
+    caught up) — how stale, in real milliseconds, the mailbox snapshot a
+    decision reads is.  ``event_lag(now)`` is the same gap on the stream's
+    own clock, the quantity the paper's §4.7 robustness argument bounds.
+    """
+
+    backlog: int
+    watermark: float
+    staleness_ms: float = 0.0
+
+    def event_lag(self, now: float) -> float:
+        return max(0.0, now - self.watermark)
+
+
+@dataclass
+class _Task:
+    """One unit of propagation work shipped to every worker."""
+
+    seq: int
+    batch: EventBatch
+    src_embeddings: np.ndarray
+    dst_embeddings: np.ndarray
+    submitted_wall: float
+
+
+_SENTINEL = None
+
+
+def _worker_main(worker_id: int, num_workers: int, handle: SharedMailboxHandle,
+                 spec: PropagatorSpec, task_queue, delivered, watermark,
+                 lag_sum, submitted, cond, ready, nice_increment: int) -> None:
+    """Propagation worker: route concurrently, deliver in strict batch order.
+
+    Runs in a child process.  ``delivered``/``watermark``/``lag_sum`` are
+    shared values guarded by ``cond``; ``submitted`` is written by the parent
+    (under ``cond``) and read here only while draining after SIGTERM.
+    """
+    if nice_increment:
+        try:
+            os.nice(nice_increment)
+        except OSError:
+            pass  # a sandbox may forbid renicing; run at normal priority
+    mailbox = Mailbox.attach(handle)
+    propagator = spec.build(mailbox)
+    terminating = False
+
+    def _on_sigterm(signum, frame):
+        nonlocal terminating
+        terminating = True
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    # The parent's Ctrl-C must not kill workers mid-delivery; shutdown goes
+    # through the sentinel / SIGTERM drain paths.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    # Setup is done: tell start() we are ready.  Without this barrier the
+    # first few decisions race against worker startup for CPU, which shows
+    # up as a fat warmup tail in p99 on core-starved machines.
+    with cond:
+        ready.value += 1
+        cond.notify_all()
+
+    tasks_seen = 0
+    try:
+        while True:
+            try:
+                task = task_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                if terminating:
+                    with cond:
+                        outstanding = submitted.value
+                    if tasks_seen >= outstanding:
+                        break  # flushed everything ever submitted
+                continue
+            if task is _SENTINEL:
+                break
+            tasks_seen += 1
+
+            batch = task.batch
+            if task.seq % num_workers == worker_id:
+                # Heavy half, concurrent: φ + k-hop routing + ρ against the
+                # worker's private event store (which holds batches < seq).
+                nodes, mails, times, _ = propagator.route_and_reduce(
+                    batch, task.src_embeddings, task.dst_embeddings
+                )
+                # Cheap half, serialised: wait for our turn in batch order,
+                # then write into the shared mailbox.  Exclusivity needs no
+                # lock around the write itself — only the worker whose seq
+                # matches the counter may proceed, and only it advances it.
+                with cond:
+                    while delivered.value != task.seq:
+                        cond.wait(1.0)
+                mailbox.deliver(nodes, mails, times)
+                with cond:
+                    delivered.value = task.seq + 1
+                    if len(batch):
+                        watermark.value = max(watermark.value, batch.end_time)
+                    lag_sum.value += time.monotonic() - task.submitted_wall
+                    cond.notify_all()
+            propagator.ingest_only(batch)
+    finally:
+        mailbox.release_shared()
+
+
+class ServingRuntime:
+    """Ingress queue + scorer-side handle of the propagation worker pool.
+
+    Lifecycle::
+
+        runtime = ServingRuntime.for_model(model)   # shares model.mailbox
+        runtime.start(initial_watermark=t0)
+        for batch in stream:
+            ...score on the critical path...
+            runtime.submit(batch, src_emb, dst_emb)  # blocks iff backlog full
+        runtime.close()    # drain, stop workers, un-share the mailbox
+
+    Also usable as a context manager (``with ServingRuntime.for_model(m) as
+    rt:``), which starts on enter and closes on exit.
+    """
+
+    def __init__(self, mailbox: Mailbox, spec: PropagatorSpec,
+                 config: RuntimeConfig | None = None):
+        self.mailbox = mailbox
+        self.spec = spec
+        self.config = (config or RuntimeConfig()).validate()
+        self._started = False
+        self._workers: list = []
+        self._queues: list = []
+        self._submitted = 0
+        self._max_backlog_seen = 0
+
+    @classmethod
+    def for_model(cls, model, config: RuntimeConfig | None = None) -> "ServingRuntime":
+        """Build a runtime that propagates for an APAN-style model.
+
+        The model must be at the start of a stream (``reset_state()``): the
+        workers' private event stores begin empty, so a propagator that has
+        already ingested events would route differently than they do.
+        """
+        propagator = getattr(model, "propagator", None)
+        mailbox = getattr(model, "mailbox", None)
+        if propagator is None or mailbox is None:
+            raise TypeError(
+                "ServingRuntime.for_model needs a model with a mailbox and a "
+                "mail propagator (an asynchronous CTDG model like APAN)"
+            )
+        if propagator.graph.num_events:
+            raise ValueError(
+                "the model's propagator has already ingested events; call "
+                "model.reset_state() before attaching the serving runtime"
+            )
+        return cls(mailbox, PropagatorSpec.from_propagator(propagator), config)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self, initial_watermark: float = 0.0) -> "ServingRuntime":
+        """Share the mailbox, fork the worker pool, open the ingress queues."""
+        if self._started:
+            raise RuntimeError("runtime already started")
+        handle = self.mailbox.share_memory()
+        ctx = mp.get_context(self.config.resolved_start_method())
+        self._cond = ctx.Condition()
+        self._delivered = ctx.Value("q", 0, lock=False)
+        self._watermark = ctx.Value("d", float(initial_watermark), lock=False)
+        self._lag_sum = ctx.Value("d", 0.0, lock=False)
+        self._submitted_shared = ctx.Value("q", 0, lock=False)
+        self._ready = ctx.Value("q", 0, lock=False)
+        self._queues = [ctx.Queue() for _ in range(self.config.num_workers)]
+        self._workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self.config.num_workers, handle, self.spec,
+                      queue, self._delivered, self._watermark, self._lag_sum,
+                      self._submitted_shared, self._cond, self._ready,
+                      self.config.worker_nice),
+                name=f"propagation-worker-{worker_id}",
+                daemon=True,
+            )
+            for worker_id, queue in enumerate(self._queues)
+        ]
+        for worker in self._workers:
+            worker.start()
+        # Block until every worker has attached the mailbox and rebuilt its
+        # propagator, so the first decision never competes with worker
+        # startup for CPU.
+        deadline = time.monotonic() + 60.0
+        with self._cond:
+            while self._ready.value < self.config.num_workers:
+                if time.monotonic() > deadline:
+                    raise RuntimeError("workers failed to become ready within 60s")
+                self._cond.wait(0.2)
+        self._submitted = 0
+        self._max_backlog_seen = 0
+        # (seq, wall time) of submissions not yet known to be delivered;
+        # parent-local, pruned lazily by staleness().
+        self._inflight_walls: deque[tuple[int, float]] = deque()
+        self._started = True
+        return self
+
+    def __enter__(self) -> "ServingRuntime":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the pool; with ``drain`` (default) flush the backlog first.
+
+        Always leaves the mailbox usable in this process: its final state is
+        copied back into private memory and the shared segments are unlinked.
+        """
+        if not self._started:
+            return
+        try:
+            if drain:
+                self.drain()
+        finally:
+            for queue in self._queues:
+                queue.put(_SENTINEL)
+            for worker in self._workers:
+                worker.join(timeout=30.0)
+            for worker in self._workers:
+                if worker.is_alive():  # unresponsive: escalate
+                    worker.terminate()
+                    worker.join(timeout=5.0)
+            for queue in self._queues:
+                # Never wait on the feeder thread: if a worker died with
+                # tasks still buffered, the pipe stays full and join_thread
+                # would block forever.  Anything unread is garbage by now.
+                queue.cancel_join_thread()
+                queue.close()
+            self.mailbox.release_shared()
+            self._workers = []
+            self._queues = []
+            self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Hot path
+    # ------------------------------------------------------------------ #
+    def submit(self, batch: EventBatch, src_embeddings: np.ndarray,
+               dst_embeddings: np.ndarray) -> int:
+        """Enqueue one batch's propagation; returns its sequence number.
+
+        Blocks while the backlog is at ``max_backlog`` (bounded-depth
+        backpressure).  This sits *behind* the decision on the serving path:
+        the score has already been produced when the producer blocks here.
+        """
+        if not self._started:
+            raise RuntimeError("runtime is not started")
+        deadline = time.monotonic() + self.config.submit_timeout_s
+        with self._cond:
+            while self._submitted - self._delivered.value >= self.config.max_backlog:
+                self._check_workers_alive()
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"backpressure timeout: backlog stuck at "
+                        f"{self._submitted - self._delivered.value} for "
+                        f"{self.config.submit_timeout_s}s"
+                    )
+                self._cond.wait(0.5)
+            seq = self._submitted
+            self._submitted += 1
+            self._submitted_shared.value = self._submitted
+            backlog = self._submitted - self._delivered.value
+            self._max_backlog_seen = max(self._max_backlog_seen, backlog)
+        task = _Task(
+            seq=seq,
+            batch=batch,
+            src_embeddings=np.asarray(src_embeddings, dtype=np.float64),
+            dst_embeddings=np.asarray(dst_embeddings, dtype=np.float64),
+            submitted_wall=time.monotonic(),
+        )
+        self._inflight_walls.append((seq, task.submitted_wall))
+        for queue in self._queues:
+            queue.put(task)
+        return seq
+
+    def drain(self, timeout_s: float | None = None) -> None:
+        """Block until every submitted batch has been delivered."""
+        if not self._started:
+            return
+        deadline = time.monotonic() + (timeout_s if timeout_s is not None
+                                       else self.config.drain_timeout_s)
+        with self._cond:
+            while self._delivered.value < self._submitted:
+                self._check_workers_alive()
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"drain timeout: {self._submitted - self._delivered.value} "
+                        f"batches still undelivered"
+                    )
+                self._cond.wait(0.5)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def staleness(self) -> StalenessSnapshot:
+        """Backlog depth, delivered-event-time watermark, wall staleness."""
+        if not self._started:
+            return StalenessSnapshot(backlog=0, watermark=float("inf"))
+        with self._cond:
+            delivered = self._delivered.value
+            backlog = self._submitted - delivered
+            watermark = self._watermark.value
+        while self._inflight_walls and self._inflight_walls[0][0] < delivered:
+            self._inflight_walls.popleft()
+        staleness_ms = 0.0
+        if backlog and self._inflight_walls:
+            staleness_ms = 1000.0 * (time.monotonic() - self._inflight_walls[0][1])
+        return StalenessSnapshot(backlog=backlog, watermark=watermark,
+                                 staleness_ms=staleness_ms)
+
+    @property
+    def submitted_count(self) -> int:
+        return self._submitted
+
+    @property
+    def delivered_count(self) -> int:
+        if not self._started:
+            return self._submitted
+        with self._cond:
+            return int(self._delivered.value)
+
+    @property
+    def max_backlog_seen(self) -> int:
+        """Backlog high-water mark observed at submission time."""
+        return self._max_backlog_seen
+
+    def mean_delivery_lag_ms(self) -> float:
+        """Mean wall-clock time from submit to delivery, over delivered tasks."""
+        if not self._started:
+            return 0.0
+        with self._cond:
+            delivered = self._delivered.value
+            if delivered == 0:
+                return 0.0
+            return 1000.0 * self._lag_sum.value / delivered
+
+    def workers_alive(self) -> int:
+        return sum(worker.is_alive() for worker in self._workers)
+
+    def worker_pids(self) -> list[int]:
+        return [worker.pid for worker in self._workers]
+
+    # ------------------------------------------------------------------ #
+    def _check_workers_alive(self) -> None:
+        dead = [worker.name for worker in self._workers if not worker.is_alive()]
+        if dead:
+            raise RuntimeError(
+                f"propagation worker(s) died: {', '.join(dead)} — "
+                "the backlog can never drain"
+            )

@@ -1,15 +1,26 @@
-"""End-to-end deployment simulation of synchronous vs. asynchronous CTDG serving.
+"""End-to-end deployment of synchronous vs. asynchronous CTDG serving.
 
 This reproduces the scenario of Figure 2: a stream of transactions arrives at
 an online decision service which must score each one ("is it fraud?") before
-the transaction is allowed to complete.
+the transaction is allowed to complete.  Three deployment modes are compared
+on the same stream:
 
-* In the **synchronous** deployment (TGAT/TGN style) the service must, on the
-  critical path, query the graph database for the k-hop temporal neighbours
-  of both endpoints, aggregate them, and only then score the transaction.
-* In the **asynchronous** deployment (APAN) the service reads the two
-  endpoints' mailboxes from a key-value store, scores the transaction, and
-  enqueues the (heavy) propagation work on a background queue.
+* ``"synchronous"`` — the TGAT/TGN-style deployment (or APAN with its
+  propagation forced onto the critical path): the service must query the
+  graph for the k-hop temporal neighbours of both endpoints, aggregate, and
+  only then score.  Decision latency includes the (measured) state update.
+* ``"asynchronous-simulated"`` — APAN's deployment with the background link
+  *modelled* by the deterministic :class:`~repro.serving.queue.AsyncWorkQueue`:
+  propagation cost is measured, then charged to simulated background workers.
+  Fast and exactly reproducible, but it is a model of concurrency, not
+  concurrency.
+* ``"asynchronous-real"`` — APAN's deployment on the **real multi-process
+  runtime** (:class:`~repro.serving.runtime.ServingRuntime`): mail
+  propagation actually runs in worker processes that share the mailbox
+  arrays through ``multiprocessing.shared_memory``, with bounded-backlog
+  backpressure and a bounded-staleness watermark.  Decision latency is pure
+  measured wall time of the scorer path; every decision also records how
+  stale the mailbox snapshot it read was.
 
 Arriving transactions are drained from the ingress queue in micro-batches of
 ``batch_size`` events, and each micro-batch is scored with **one** batched
@@ -21,9 +32,9 @@ micro-batch* (``mean_compute_ms`` — note: per batch of ``batch_size`` events,
 not per individual event) from the modelled storage cost, so encoder-side
 speedups are visible independently of the storage assumptions.
 
-The simulator combines measured model compute time with the
-:class:`~repro.serving.latency.StorageLatencyModel`'s storage costs, and
-reports decision latency percentiles plus the asynchronous backlog/staleness.
+The simulated modes combine measured model compute with the
+:class:`~repro.serving.latency.StorageLatencyModel`'s storage costs and
+report decision latency percentiles plus the asynchronous backlog/staleness.
 """
 
 from __future__ import annotations
@@ -40,12 +51,22 @@ from ..nn.tensor import no_grad
 from .latency import StorageLatencyModel
 from .queue import AsyncWorkQueue
 
-__all__ = ["ServingReport", "DeploymentSimulator"]
+__all__ = ["ServingReport", "DeploymentSimulator", "SERVING_MODES"]
+
+SERVING_MODES = ("synchronous", "asynchronous-simulated", "asynchronous-real")
 
 
 @dataclass
 class ServingReport:
-    """Latency report of one simulated deployment run."""
+    """Latency report of one deployment run (simulated or real).
+
+    ``mean_staleness_ms``/``max_staleness_ms`` quantify how stale the mailbox
+    state behind the decisions was, in the run's own clock: delivery lag on
+    the simulation clock for ``asynchronous-simulated``, and the measured
+    wall-clock age of the oldest undelivered propagation task at mailbox-read
+    time for ``asynchronous-real``.  ``max_backlog`` is the propagation
+    backlog high-water mark in batches.
+    """
 
     mode: str
     mean_decision_ms: float
@@ -57,6 +78,9 @@ class ServingReport:
     # Measured model compute per scored micro-batch (NOT per event; one
     # micro-batch covers ``batch_size`` events).
     mean_compute_ms: float = 0.0
+    mean_staleness_ms: float = 0.0
+    max_staleness_ms: float = 0.0
+    max_backlog: int = 0
     decision_latencies_ms: list[float] = field(default_factory=list, repr=False)
 
     def as_dict(self) -> dict:
@@ -69,11 +93,36 @@ class ServingReport:
             "mean_async_lag_ms": self.mean_async_lag_ms,
             "num_decisions": self.num_decisions,
             "mean_compute_ms": self.mean_compute_ms,
+            "mean_staleness_ms": self.mean_staleness_ms,
+            "max_staleness_ms": self.max_staleness_ms,
+            "max_backlog": self.max_backlog,
         }
 
 
+def _percentile_report(mode: str, decision_latencies: list[float],
+                       compute_latencies: list[float], num_events: int,
+                       **extra) -> ServingReport:
+    latencies = np.asarray(decision_latencies)
+    return ServingReport(
+        mode=mode,
+        mean_decision_ms=float(latencies.mean()),
+        p50_decision_ms=float(np.percentile(latencies, 50)),
+        p95_decision_ms=float(np.percentile(latencies, 95)),
+        p99_decision_ms=float(np.percentile(latencies, 99)),
+        num_decisions=num_events,
+        mean_compute_ms=float(np.mean(compute_latencies)) if compute_latencies else 0.0,
+        decision_latencies_ms=latencies.tolist(),
+        **extra,
+    )
+
+
 class DeploymentSimulator:
-    """Simulates serving a transaction stream with a temporal embedding model."""
+    """Serves a transaction stream with a temporal embedding model.
+
+    Despite the historical name this class drives both the *simulated*
+    deployments and the *real* multi-process runtime — ``run(mode=...)``
+    selects one of :data:`SERVING_MODES`.
+    """
 
     def __init__(self, model: TemporalEmbeddingModel, graph: TemporalGraph,
                  storage: StorageLatencyModel | None = None,
@@ -99,17 +148,38 @@ class DeploymentSimulator:
         # Mailbox reads from the key-value store only.
         return self.storage.kv_read_cost(unique_nodes)
 
-    def run(self, max_batches: int | None = None, synchronous: bool | None = None) -> ServingReport:
-        """Simulate serving the event stream.
-
-        ``synchronous`` defaults to the model's own
-        ``synchronous_graph_query`` flag; passing it explicitly lets the
-        benchmark compare "what if APAN's propagation were forced onto the
-        critical path" as an ablation.
-        """
+    def _resolve_mode(self, synchronous: bool | None, mode: str | None) -> str:
+        if mode is not None:
+            if synchronous is not None:
+                raise ValueError("pass either mode= or synchronous=, not both")
+            if mode not in SERVING_MODES:
+                raise ValueError(f"mode must be one of {SERVING_MODES}, got {mode!r}")
+            return mode
         if synchronous is None:
             synchronous = self.model.synchronous_graph_query
-        mode = "synchronous" if synchronous else "asynchronous"
+        return "synchronous" if synchronous else "asynchronous-simulated"
+
+    def run(self, max_batches: int | None = None,
+            synchronous: bool | None = None, mode: str | None = None,
+            runtime_config=None) -> ServingReport:
+        """Serve the event stream in one of :data:`SERVING_MODES`.
+
+        With neither ``mode`` nor ``synchronous`` given, the mode follows the
+        model's own ``synchronous_graph_query`` flag; passing
+        ``synchronous=True`` explicitly lets the benchmark compare "what if
+        APAN's propagation were forced onto the critical path" as an
+        ablation.  ``runtime_config`` (a
+        :class:`~repro.serving.runtime.RuntimeConfig`) only applies to
+        ``"asynchronous-real"``.
+        """
+        mode = self._resolve_mode(synchronous, mode)
+        if mode == "asynchronous-real":
+            return self._run_real(max_batches, runtime_config)
+        return self._run_simulated(max_batches, mode)
+
+    # ------------------------------------------------------------------ #
+    def _run_simulated(self, max_batches: int | None, mode: str) -> ServingReport:
+        synchronous = mode == "synchronous"
         queue = AsyncWorkQueue(num_workers=self.async_workers)
 
         was_training = self.model.training
@@ -154,15 +224,92 @@ class DeploymentSimulator:
         queue.flush()
         self.model.train(was_training)
 
-        latencies = np.asarray(decision_latencies)
-        return ServingReport(
-            mode=mode,
-            mean_decision_ms=float(latencies.mean()),
-            p50_decision_ms=float(np.percentile(latencies, 50)),
-            p95_decision_ms=float(np.percentile(latencies, 95)),
-            p99_decision_ms=float(np.percentile(latencies, 99)),
+        lags = [task.lag_ms for task in queue.completed_tasks]
+        return _percentile_report(
+            mode, decision_latencies, compute_latencies, num_events_served,
             mean_async_lag_ms=queue.mean_lag_ms(),
-            num_decisions=num_events_served,
-            mean_compute_ms=float(np.mean(compute_latencies)) if compute_latencies else 0.0,
-            decision_latencies_ms=latencies.tolist(),
+            mean_staleness_ms=float(np.mean(lags)) if lags else 0.0,
+            max_staleness_ms=float(np.max(lags)) if lags else 0.0,
+            max_backlog=queue.max_queue_depth_reached(),
         )
+
+    # ------------------------------------------------------------------ #
+    def _run_real(self, max_batches: int | None, runtime_config) -> ServingReport:
+        """Serve on the real multi-process runtime (measured wall time only).
+
+        The scorer (this process) reads the shared mailbox, encodes, scores
+        and applies the cheap embedding-state updates; the heavy mail
+        propagation is submitted to the worker pool.  Each decision records
+        the wall-clock staleness of the mailbox snapshot it read — the age
+        of the oldest propagation task still undelivered at read time (the
+        stream-time watermark gap stays available via
+        :meth:`~repro.serving.runtime.ServingRuntime.staleness`).
+        """
+        from .runtime import RuntimeConfig, ServingRuntime  # local: keep import cheap
+
+        config = runtime_config or RuntimeConfig(num_workers=self.async_workers)
+        runtime = ServingRuntime.for_model(self.model, config)
+
+        was_training = self.model.training
+        self.model.eval()
+        decision_latencies: list[float] = []
+        compute_latencies: list[float] = []
+        staleness: list[float] = []
+        num_events_served = 0
+
+        first_time = float(self.graph.timestamps[0]) if self.graph.num_events else 0.0
+        runtime.start(initial_watermark=first_time)
+        try:
+            with no_grad():
+                for index, batch in enumerate(iterate_batches(self.graph, self.batch_size)):
+                    if max_batches is not None and index >= max_batches:
+                        break
+
+                    # --- synchronous decision path (all measured) ------------
+                    snapshot = runtime.staleness()  # staleness of the read below
+                    begin = time.perf_counter()
+                    embeddings = self.model.compute_embeddings(batch)
+                    self.model.link_logits(embeddings.src, embeddings.dst)
+                    compute_ms = (time.perf_counter() - begin) * 1000.0
+                    compute_latencies.append(compute_ms)
+                    storage_ms = self._decision_storage_cost(batch, synchronous=False)
+                    decision_latencies.append(compute_ms + storage_ms)
+                    staleness.append(snapshot.staleness_ms)
+                    num_events_served += len(batch)
+
+                    # --- asynchronous path: off the decision's critical path -
+                    self.model.apply_embedding_updates(batch, embeddings)
+                    runtime.submit(batch, embeddings.src.data, embeddings.dst.data)
+            runtime.drain()
+            mean_lag_ms = runtime.mean_delivery_lag_ms()
+            max_backlog = runtime.max_backlog_seen
+        finally:
+            # The success path drained above; don't re-drain here, where a
+            # stuck backlog after an error would mask the original exception.
+            runtime.close(drain=False)
+            self.model.train(was_training)
+
+        return _percentile_report(
+            "asynchronous-real", decision_latencies, compute_latencies,
+            num_events_served,
+            mean_async_lag_ms=mean_lag_ms,
+            mean_staleness_ms=float(np.mean(staleness)) if staleness else 0.0,
+            max_staleness_ms=float(np.max(staleness)) if staleness else 0.0,
+            max_backlog=max_backlog,
+        )
+
+    # ------------------------------------------------------------------ #
+    def compare_modes(self, max_batches: int | None = None,
+                      modes: tuple = SERVING_MODES,
+                      runtime_config=None) -> dict[str, ServingReport]:
+        """Run the same stream through several modes, resetting state between.
+
+        The model's streaming state is reset before each run so every mode
+        starts from the same blank mailbox/event store.
+        """
+        reports: dict[str, ServingReport] = {}
+        for mode in modes:
+            self.model.reset_state()
+            reports[mode] = self.run(max_batches=max_batches, mode=mode,
+                                     runtime_config=runtime_config)
+        return reports

@@ -1,0 +1,161 @@
+"""Property tests for AsyncWorkQueue's backlog, ordering and clock contracts.
+
+These pin the three simulated-queue bugs fixed alongside the real runtime:
+``max_queue_depth_reached`` must be a backlog high-water mark (not a count of
+everything ever submitted), ``drain_until`` must return *completion* order
+even with multiple workers, and ``submit`` must reject a clock that moves
+backwards instead of silently corrupting the lag statistics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import AsyncWorkQueue
+
+# A workload step: wait `gap_ms`, then either submit a task of `work_ms`
+# or drain up to the current clock.
+STEPS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.one_of(
+            st.floats(min_value=0.1, max_value=40.0, allow_nan=False),  # submit
+            st.none(),                                                   # drain
+        ),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestBacklogHighWaterMark:
+    @given(steps=STEPS, num_workers=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_depth_equals_observed_pending_maximum(self, steps, num_workers):
+        queue = AsyncWorkQueue(num_workers=num_workers)
+        now = 0.0
+        observed_max = 0
+        for gap_ms, work_ms in steps:
+            now += gap_ms
+            if work_ms is None:
+                queue.drain_until(now)
+            else:
+                queue.submit(now, work_ms=work_ms)
+            observed_max = max(observed_max, queue.pending_count)
+        assert queue.max_queue_depth_reached() == observed_max
+
+    def test_depth_is_not_total_submitted(self):
+        """Regression: a queue that keeps up has depth 1, not ``n``."""
+        queue = AsyncWorkQueue(num_workers=1)
+        for i in range(100):
+            queue.submit(float(i * 10), work_ms=1.0)
+            queue.flush()
+        assert len(queue.completed_tasks) == 100
+        assert queue.max_queue_depth_reached() == 1
+
+    def test_depth_survives_drain(self):
+        queue = AsyncWorkQueue(num_workers=1)
+        for i in range(5):
+            queue.submit(0.0, work_ms=1.0)
+        queue.flush()
+        assert queue.pending_count == 0
+        assert queue.max_queue_depth_reached() == 5
+
+
+class TestCompletionOrder:
+    def test_two_worker_regression_case(self):
+        """The issue's exact case: a long head task must not hide a short one.
+
+        Two workers: the 25 ms task is dequeued first, the 11 ms task second
+        onto the other (idle) worker.  Dequeue order is long-then-short but
+        completion order is short (t=11) then long (t=25).
+        """
+        queue = AsyncWorkQueue(num_workers=2)
+        queue.submit(0.0, work_ms=25.0, payload="long")
+        queue.submit(0.0, work_ms=11.0, payload="short")
+        done = queue.drain_until(30.0)
+        assert [t.payload for t in done] == ["short", "long"]
+        assert [t.completed_at for t in done] == [11.0, 25.0]
+
+    @given(steps=STEPS, num_workers=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_drain_returns_nondecreasing_completion_times(self, steps, num_workers):
+        queue = AsyncWorkQueue(num_workers=num_workers)
+        now = 0.0
+        for gap_ms, work_ms in steps:
+            now += gap_ms
+            if work_ms is None:
+                done = queue.drain_until(now)
+            else:
+                queue.submit(now, work_ms=work_ms)
+                continue
+            times = [t.completed_at for t in done]
+            assert times == sorted(times)
+        final = queue.flush()
+        times = [t.completed_at for t in final]
+        assert times == sorted(times)
+
+    @given(num_workers=st.integers(min_value=2, max_value=4),
+           works=st.lists(st.floats(min_value=0.5, max_value=30.0,
+                                    allow_nan=False), min_size=2, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_ties_keep_fifo_order(self, num_workers, works):
+        """Tasks with equal completion times stay in submission order."""
+        queue = AsyncWorkQueue(num_workers=num_workers)
+        for index, work_ms in enumerate(works):
+            queue.submit(0.0, work_ms=work_ms, payload=index)
+        done = queue.flush()
+        for earlier, later in zip(done, done[1:]):
+            if earlier.completed_at == later.completed_at:
+                assert earlier.payload < later.payload
+
+
+class TestMonotonicClock:
+    def test_backwards_clock_raises(self):
+        queue = AsyncWorkQueue()
+        queue.submit(10.0, work_ms=1.0)
+        with pytest.raises(ValueError, match="non-monotonic"):
+            queue.submit(9.0, work_ms=1.0)
+
+    def test_equal_time_is_allowed(self):
+        queue = AsyncWorkQueue()
+        queue.submit(5.0, work_ms=1.0)
+        queue.submit(5.0, work_ms=1.0)  # same instant: fine
+        assert queue.pending_count == 2
+
+    def test_rejected_submit_leaves_queue_intact(self):
+        queue = AsyncWorkQueue()
+        queue.submit(10.0, work_ms=1.0)
+        with pytest.raises(ValueError):
+            queue.submit(0.0, work_ms=1.0)
+        assert queue.pending_count == 1
+        queue.submit(10.0, work_ms=1.0)  # the clock floor did not move
+        assert queue.pending_count == 2
+
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                                    allow_nan=False), min_size=2, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_any_backwards_step_raises(self, times):
+        queue = AsyncWorkQueue()
+        high_water = float("-inf")
+        for now_ms in times:
+            if now_ms < high_water:
+                with pytest.raises(ValueError):
+                    queue.submit(now_ms, work_ms=1.0)
+            else:
+                queue.submit(now_ms, work_ms=1.0)
+                high_water = now_ms
+
+    @given(steps=STEPS)
+    @settings(max_examples=40, deadline=None)
+    def test_lag_is_never_negative(self, steps):
+        """With a monotonic clock, no completed task can have negative lag."""
+        queue = AsyncWorkQueue(num_workers=2)
+        now = 0.0
+        for gap_ms, work_ms in steps:
+            now += gap_ms
+            if work_ms is None:
+                queue.drain_until(now)
+            else:
+                queue.submit(now, work_ms=work_ms)
+        queue.flush()
+        assert all(task.lag_ms >= 0.0 for task in queue.completed_tasks)

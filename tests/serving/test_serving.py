@@ -89,7 +89,7 @@ class TestDeploymentSimulator:
     def test_report_fields(self, apan, tiny_graph):
         simulator = DeploymentSimulator(apan, tiny_graph, batch_size=64)
         report = simulator.run(max_batches=3)
-        assert report.mode == "asynchronous"
+        assert report.mode == "asynchronous-simulated"
         assert report.mean_decision_ms > 0
         assert report.p99_decision_ms >= report.p50_decision_ms
         assert report.num_decisions == 3 * 64
