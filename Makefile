@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test test-fast equivalence bench bench-serving docs-check
+.PHONY: test test-fast equivalence bench bench-serving bench-storage docs-check
 
 ## Tier-1: the full suite (unit tests + paper benchmarks), as CI runs it.
 test:
@@ -29,6 +29,13 @@ bench:
 ## SERVING_BENCH_EVENTS=100000 scales the stream for a local soak.
 bench-serving:
 	$(PYTHON) -m pytest -q benchmarks/test_serving_throughput.py -s
+
+## Build a 1M-node / 10M-event stream through the mmap-backed EventStore,
+## measure append/slice/query throughput and peak RSS in a fresh subprocess,
+## write BENCH_storage.json and assert the RSS ceiling.
+## STORAGE_BENCH_EVENTS / STORAGE_BENCH_NODES / STORAGE_BENCH_RSS_MB scale it.
+bench-storage:
+	$(PYTHON) -m pytest -q benchmarks/test_storage_scale.py -s
 
 ## Verify every file path referenced by README.md / docs/ resolves.
 docs-check:

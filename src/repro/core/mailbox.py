@@ -28,6 +28,7 @@ free of graph queries.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 
@@ -118,6 +119,25 @@ def _open_shared_segment(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
     finally:
         resource_tracker.register = original_register
+
+
+def _unlink_leaked_segments(segments: dict) -> None:
+    """Last-resort cleanup for shared segments an owner never released.
+
+    Registered via ``weakref.finalize`` when a mailbox moves into shared
+    memory and detached again by :meth:`Mailbox.release_shared`.  If the
+    owning process reaches interpreter exit (or drops the mailbox) with the
+    segments still linked — e.g. a :class:`ServingRuntime` whose worker died
+    before ``close()`` ran — the segments are unlinked here so they do not
+    outlive the process in ``/dev/shm``.  Only ``unlink`` is attempted:
+    ``close`` could raise while NumPy views still hold the buffer, and the
+    kernel unmaps on process exit anyway.
+    """
+    for segment in segments.values():
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
 
 
 _UPDATE_POLICIES = ("fifo", "reservoir", "newest_overwrite")
@@ -376,17 +396,36 @@ class Mailbox:
         """
         if self.is_shared:
             raise RuntimeError("mailbox state is already in shared memory")
-        self._shm_segments: dict[str, shared_memory.SharedMemory] = {}
+        segments: dict[str, shared_memory.SharedMemory] = {}
         segment_names: dict[str, str] = {}
-        for name, (shape, dtype) in _shared_array_specs(
-                self.num_nodes, self.num_slots, self.mail_dim).items():
-            current = getattr(self, name)
-            segment = shared_memory.SharedMemory(create=True, size=current.nbytes)
-            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
-            view[:] = current
-            setattr(self, name, view)
-            self._shm_segments[name] = segment
-            segment_names[name] = segment.name
+        try:
+            for name, (shape, dtype) in _shared_array_specs(
+                    self.num_nodes, self.num_slots, self.mail_dim).items():
+                current = getattr(self, name)
+                segment = shared_memory.SharedMemory(create=True, size=current.nbytes)
+                segments[name] = segment
+                view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+                view[:] = current
+                setattr(self, name, view)
+                segment_names[name] = segment.name
+        except Exception:
+            # A partial failure (e.g. shm exhaustion) must not leak the
+            # segments already created: copy the state back to private
+            # arrays, then close + unlink everything.
+            for name, segment in segments.items():
+                view = getattr(self, name)
+                if isinstance(view, np.ndarray) and view.base is not None:
+                    setattr(self, name, np.array(view))
+                del view
+                segment.close()
+                segment.unlink()
+            raise
+        self._shm_segments = segments
+        # Safety net: if this process exits (or the mailbox is dropped)
+        # without release_shared(), unlink the segments rather than leaking
+        # them past the process's lifetime.
+        self._shm_finalizer = weakref.finalize(
+            self, _unlink_leaked_segments, segments)
         return SharedMailboxHandle(
             num_nodes=self.num_nodes, num_slots=self.num_slots,
             mail_dim=self.mail_dim, update_policy=self.update_policy,
@@ -424,9 +463,15 @@ class Mailbox:
         if not self.is_shared:
             return
         attached = getattr(self, "_shm_attached", False)
-        for name, segment in self._shm_segments.items():
+        segments = self._shm_segments
+        for name, segment in segments.items():
             setattr(self, name, np.array(getattr(self, name)))
             segment.close()
             if not attached:
                 segment.unlink()
+        segments.clear()
         self._shm_segments = {}
+        finalizer = getattr(self, "_shm_finalizer", None)
+        if finalizer is not None:
+            finalizer.detach()
+            self._shm_finalizer = None

@@ -80,7 +80,8 @@ class MailPropagator:
                  num_hops: int = 2, num_neighbors: int = 10,
                  sampling: str = "recent", phi: str = "sum", rho: str = "mean",
                  mail_passing: str = "identity", time_decay: float = 1e-6,
-                 seed: int | None = None, engine: str = "vectorized"):
+                 seed: int | None = None, engine: str = "vectorized",
+                 graph=None):
         if num_hops < 1:
             raise ValueError("num_hops must be at least 1")
         if phi not in _PHI_CHOICES:
@@ -104,8 +105,18 @@ class MailPropagator:
         self.engine = engine
         self._seed = seed
         self._rng = np.random.default_rng(seed)
-        # Internal, incrementally grown event store used for neighbour lookups.
-        self.graph = TemporalGraph(num_nodes, edge_feature_dim)
+        # Event store used for neighbour lookups.  By default the propagator
+        # owns a private, incrementally grown TemporalGraph that it ingests
+        # into after each propagated batch.  A serving worker instead injects
+        # a shared read-only view (GraphView over an mmap-attached
+        # EventStore): the runtime's writer appends events once, and every
+        # worker routes against the same physical pages.
+        if graph is None:
+            self.graph = TemporalGraph(num_nodes, edge_feature_dim)
+            self._owns_graph = True
+        else:
+            self.graph = graph
+            self._owns_graph = False
         self._sampler = self._make_sampler()
         # Optional projection used when phi == 'concat_project'.
         if phi == "concat_project":
@@ -126,9 +137,14 @@ class MailPropagator:
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
-        """Clear the internal event store and all mailboxes."""
+        """Clear the internal event store and all mailboxes.
+
+        An injected (shared) graph is left alone — its lifecycle belongs to
+        the storage writer, not to this propagator.
+        """
         self.mailbox.reset()
-        self.graph = TemporalGraph(self.num_nodes, self.edge_feature_dim)
+        if self._owns_graph:
+            self.graph = TemporalGraph(self.num_nodes, self.edge_feature_dim)
         self._sampler = self._make_sampler()
 
     # ------------------------------------------------------------------ #
@@ -375,6 +391,10 @@ class MailPropagator:
     def _ingest_events(self, batch: EventBatch) -> None:
         if len(batch) == 0:
             return
+        if not self._owns_graph:
+            raise RuntimeError(
+                "this propagator routes against a shared event store it does "
+                "not own; append events through the store's writer instead")
         self.graph.add_interactions(batch.src, batch.dst, batch.timestamps,
                                     batch.edge_features, batch.labels)
 

@@ -134,6 +134,31 @@ class TemporalDataset:
             labels=self.labels, num_nodes=self.num_nodes,
         )
 
+    def to_event_store(self, path=None, batch_size: int = 100_000):
+        """Load the stream into a columnar :class:`~repro.storage.EventStore`.
+
+        With ``path`` the store is mmap-backed on disk (attachable from other
+        processes); without, it lives in memory.  Events are appended in
+        ``batch_size`` chunks, so peak memory stays bounded by the chunk even
+        for streams much larger than RAM when writing to disk.
+        """
+        from ..storage.event_store import EventStore
+
+        if path is None:
+            store = EventStore(self.num_nodes, self.edge_feature_dim)
+        else:
+            store = EventStore.create_mmap(
+                path, num_nodes=self.num_nodes,
+                edge_feature_dim=self.edge_feature_dim,
+                capacity=max(1024, self.num_events))
+        for start in range(0, self.num_events, batch_size):
+            stop = min(start + batch_size, self.num_events)
+            store.append_batch(self.src[start:stop], self.dst[start:stop],
+                               self.timestamps[start:stop],
+                               self.edge_features[start:stop],
+                               self.labels[start:stop])
+        return store
+
     def split(self, train_fraction: float = 0.70,
               val_fraction: float = 0.15) -> DatasetSplit:
         """Chronological split following the paper's 70/15/15 protocol."""

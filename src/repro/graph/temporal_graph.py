@@ -1,41 +1,42 @@
-"""Continuous-time dynamic graph (CTDG) event store.
+"""Continuous-time dynamic graph (CTDG) — façade over the storage subsystem.
 
 A CTDG is an ordered stream of interaction events ``(src, dst, t, edge_feat)``
 (paper §3.1).  This module provides:
 
 * :class:`Interaction` — a single temporal event.
-* :class:`TemporalGraph` — a column-oriented store of the full event stream
-  with a flat CSR-style temporal adjacency view, supporting the queries every
-  model in this repository needs:
+* :class:`TemporalGraph` — the historical public surface of the event store,
+  now a thin façade over the storage/view split in ``repro.storage``:
+  an append-only columnar :class:`~repro.storage.event_store.EventStore`
+  holds the event columns (optionally ``np.memmap``-backed), and a
+  :class:`~repro.storage.graph_view.GraphView` answers every temporal query
+  — "edges of node v before time t", the flat CSR adjacency for batched
+  neighbour sampling, chronological slicing.
 
-  - append events in timestamp order, one at a time
-    (:meth:`TemporalGraph.add_interaction`) or in bulk
-    (:meth:`TemporalGraph.add_interactions` — the fast path used by the
-    vectorized propagation engine),
-  - "edges of node v before time t" (for temporal neighbour sampling),
-  - chronological slicing for train/validation/test splits,
-  - multigraph semantics (repeated node pairs at different times).
+The public API is bit-compatible with the pre-split monolith (pinned by
+``tests/storage/test_equivalence.py``), with one upgrade: slicing.
+:meth:`TemporalGraph.slice_by_time` and :meth:`TemporalGraph.slice_by_index`
+used to materialise full copies; they now return **zero-copy views** sharing
+the parent's storage (``np.shares_memory`` holds on every column).  Views
+are read-only — appending to one raises, and :meth:`TemporalGraph.materialize`
+gives an independent appendable copy when that is what you want.
 
-Storage layout
---------------
-Events live in pre-allocated, amortised-doubling NumPy columns, so both the
-single-event and the bulk append are O(1) amortised array writes — no Python
-object churn per event.  The adjacency index is a flat *incidence* array (two
-entries per event: ``src→dst`` and ``dst→src``) from which a CSR view
-(``indptr`` + neighbour/edge-id/timestamp columns grouped by node) is built
-lazily with one stable counting sort and cached until the next append.
-Within each node's CSR segment, entries are in insertion order, which equals
-timestamp order because events arrive chronologically — so "most recent n
-neighbours before t" is a binary search plus a slice, and the
-:meth:`csr_view` arrays let samplers answer *batches* of such queries with
-pure array ops (see ``TemporalNeighborSampler.sample_many``).
+Storage layout (unchanged in spirit): events live in pre-allocated,
+amortised-doubling columns, so appends are O(1) amortised array writes with
+no per-event Python objects; the CSR adjacency is folded incrementally per
+appended batch (one stable counting sort), never rebuilt.  See
+``src/repro/storage/`` for the underlying pieces and the sharding layer
+(:class:`~repro.storage.shard_map.ShardMap`) built on the same views.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
+
+from ..storage.event_store import EventStore
+from ..storage.graph_view import GraphView
 
 __all__ = ["Interaction", "TemporalGraph"]
 
@@ -63,48 +64,25 @@ class Interaction:
         )
 
 
-def _grow(array: np.ndarray, needed: int) -> np.ndarray:
-    """Return ``array`` with capacity >= needed (amortised doubling)."""
-    capacity = len(array)
-    if needed <= capacity:
-        return array
-    new_capacity = max(needed, 2 * capacity, 8)
-    new_shape = (new_capacity,) + array.shape[1:]
-    grown = np.empty(new_shape, dtype=array.dtype)
-    grown[:capacity] = array
-    return grown
-
-
 class TemporalGraph:
-    """Append-only store of a continuous-time dynamic multigraph."""
+    """Append-only store of a continuous-time dynamic multigraph.
+
+    ``TemporalGraph(num_nodes, edge_feature_dim)`` owns a fresh in-memory
+    :class:`EventStore`; :meth:`from_store` wraps an existing (possibly
+    mmap-backed, possibly attached read-only) store; slicing methods return
+    façades over shared-storage views.
+    """
 
     def __init__(self, num_nodes: int, edge_feature_dim: int):
-        if num_nodes <= 0:
-            raise ValueError("num_nodes must be positive")
-        if edge_feature_dim < 0:
-            raise ValueError("edge_feature_dim must be non-negative")
-        self.num_nodes = num_nodes
-        self.edge_feature_dim = edge_feature_dim
-        self._num_events = 0
-        self._src_col = np.empty(0, dtype=np.int64)
-        self._dst_col = np.empty(0, dtype=np.int64)
-        self._time_col = np.empty(0, dtype=np.float64)
-        self._label_col = np.empty(0, dtype=np.float64)
-        self._feature_col = np.empty((0, edge_feature_dim), dtype=np.float64)
-        # Flat incidence: entries 2i and 2i+1 are event i seen from src and dst.
-        self._inc_node = np.empty(0, dtype=np.int64)
-        self._inc_neighbor = np.empty(0, dtype=np.int64)
-        self._inc_edge = np.empty(0, dtype=np.int64)
-        # Lazily maintained CSR view over the incidence arrays.
-        # _csr_built counts the incidence entries already folded in; a query
-        # merges any newer entries into the cached view incrementally.
-        self._csr_built = 0
-        self._csr_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
-        self._csr_nodes = np.empty(0, dtype=np.int64)
-        self._csr_neighbors = np.empty(0, dtype=np.int64)
-        self._csr_edge_ids = np.empty(0, dtype=np.int64)
-        self._csr_times = np.empty(0, dtype=np.float64)
-        self._last_timestamp = -np.inf
+        store = EventStore(num_nodes, edge_feature_dim)
+        self._init_from(store, GraphView(store), mutable=True)
+
+    def _init_from(self, store: EventStore, view: GraphView, mutable: bool) -> None:
+        self.num_nodes = store.num_nodes
+        self.edge_feature_dim = store.edge_feature_dim
+        self._store = store
+        self._view = view
+        self._mutable = mutable
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -114,15 +92,62 @@ class TemporalGraph:
                     edge_features: np.ndarray, labels: np.ndarray | None = None,
                     num_nodes: int | None = None) -> "TemporalGraph":
         """Build a temporal graph from parallel event arrays (must be time-sorted)."""
-        src = np.asarray(src, dtype=np.int64)
-        dst = np.asarray(dst, dtype=np.int64)
-        edge_features = np.asarray(edge_features, dtype=np.float64)
-        if num_nodes is None:
-            num_nodes = int(max(src.max(initial=0), dst.max(initial=0))) + 1
-        feature_dim = edge_features.shape[1] if edge_features.ndim == 2 else 0
-        graph = cls(num_nodes=num_nodes, edge_feature_dim=feature_dim)
-        graph.add_interactions(src, dst, timestamps, edge_features, labels)
+        store = EventStore.from_arrays(src, dst, timestamps, edge_features,
+                                       labels, num_nodes=num_nodes)
+        return cls.from_store(store)
+
+    @classmethod
+    def from_store(cls, store: EventStore) -> "TemporalGraph":
+        """Wrap an existing :class:`EventStore` (e.g. an mmap attach)."""
+        graph = object.__new__(cls)
+        graph._init_from(store, GraphView(store), mutable=True)
         return graph
+
+    @classmethod
+    def _wrap_view(cls, view: GraphView) -> "TemporalGraph":
+        graph = object.__new__(cls)
+        graph._init_from(view.store, view, mutable=False)
+        return graph
+
+    @property
+    def store(self) -> EventStore:
+        """The underlying append-only columnar store."""
+        return self._store
+
+    @property
+    def view(self) -> GraphView:
+        """The window of the store this graph exposes."""
+        return self._view
+
+    @property
+    def is_view(self) -> bool:
+        """True for read-only slices sharing another graph's storage."""
+        return not self._mutable
+
+    def materialize(self) -> "TemporalGraph":
+        """An independent, appendable copy of this graph's events."""
+        store = EventStore(self.num_nodes, self.edge_feature_dim)
+        store.append_batch(self.src, self.dst, self.timestamps,
+                           self.edge_features, self.labels)
+        return TemporalGraph.from_store(store)
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the events as an mmap-able store layout under ``path``."""
+        if self._mutable:
+            return self._store.save(path)
+        snapshot = EventStore(self.num_nodes, self.edge_feature_dim)
+        snapshot.append_batch(self.src, self.dst, self.timestamps,
+                              self.edge_features, self.labels)
+        return snapshot.save(path)
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def _check_mutable(self) -> None:
+        if not self._mutable:
+            raise RuntimeError(
+                "this graph is a read-only view sharing another graph's "
+                "storage; call materialize() for an appendable copy")
 
     def add_interaction(self, src: int, dst: int, timestamp: float,
                         edge_feature: np.ndarray, label: float = 0.0) -> int:
@@ -133,10 +158,11 @@ class TemporalGraph:
         of APAN explicitly tolerates *reading* out of order, but the canonical
         store is chronological).
         """
-        if timestamp < self._last_timestamp:
+        self._check_mutable()
+        if timestamp < self._store.last_timestamp:
             raise ValueError(
                 f"events must be appended in chronological order "
-                f"(got {timestamp} after {self._last_timestamp})"
+                f"(got {timestamp} after {self._store.last_timestamp})"
             )
         if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
             raise IndexError(f"node id out of range: ({src}, {dst})")
@@ -146,23 +172,10 @@ class TemporalGraph:
                 f"edge feature dim mismatch: expected {self.edge_feature_dim}, "
                 f"got {len(edge_feature)}"
             )
-        count = self._num_events
-        self._reserve(count + 1)
-        self._src_col[count] = src
-        self._dst_col[count] = dst
-        self._time_col[count] = timestamp
-        self._label_col[count] = label
-        self._feature_col[count] = edge_feature
-        incidence = 2 * count
-        self._inc_node[incidence] = src
-        self._inc_neighbor[incidence] = dst
-        self._inc_node[incidence + 1] = dst
-        self._inc_neighbor[incidence + 1] = src
-        self._inc_edge[incidence] = count
-        self._inc_edge[incidence + 1] = count
-        self._num_events = count + 1
-        self._last_timestamp = timestamp
-        return count
+        edge_ids = self._store.append_batch(
+            np.asarray([src]), np.asarray([dst]), np.asarray([timestamp]),
+            edge_feature.reshape(1, -1), np.asarray([label]))
+        return int(edge_ids[0])
 
     def add_interactions(self, src: np.ndarray, dst: np.ndarray,
                          timestamps: np.ndarray, edge_features: np.ndarray,
@@ -174,117 +187,12 @@ class TemporalGraph:
         size.  The block must be internally time-sorted and must not precede
         the last stored event.
         """
-        src = np.asarray(src, dtype=np.int64).reshape(-1)
-        dst = np.asarray(dst, dtype=np.int64).reshape(-1)
-        timestamps = np.asarray(timestamps, dtype=np.float64).reshape(-1)
-        edge_features = np.asarray(edge_features, dtype=np.float64)
-        if edge_features.ndim == 1:
-            edge_features = edge_features.reshape(len(src), -1) if self.edge_feature_dim \
-                else edge_features.reshape(len(src), 0)
-        if labels is None:
-            labels = np.zeros(len(src))
-        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
-        if not (len(src) == len(dst) == len(timestamps) == len(edge_features) == len(labels)):
-            raise ValueError("event arrays must have equal length")
-        if len(src) == 0:
-            return np.empty(0, dtype=np.int64)
-        if edge_features.shape[1] != self.edge_feature_dim:
-            raise ValueError(
-                f"edge feature dim mismatch: expected {self.edge_feature_dim}, "
-                f"got {edge_features.shape[1]}"
-            )
-        if np.any(np.diff(timestamps) < 0):
-            raise ValueError("events must be sorted by timestamp")
-        if timestamps[0] < self._last_timestamp:
-            raise ValueError(
-                f"events must be appended in chronological order "
-                f"(got {timestamps[0]} after {self._last_timestamp})"
-            )
-        for nodes in (src, dst):
-            if len(nodes) and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
-                raise IndexError("node id out of range")
-
-        count = self._num_events
-        block = len(src)
-        self._reserve(count + block)
-        stop = count + block
-        self._src_col[count:stop] = src
-        self._dst_col[count:stop] = dst
-        self._time_col[count:stop] = timestamps
-        self._label_col[count:stop] = labels
-        self._feature_col[count:stop] = edge_features
-        edge_ids = np.arange(count, stop, dtype=np.int64)
-        # Interleave so incidence stays in per-event (src entry, dst entry)
-        # order — the order neighbour queries and the CSR build rely on.
-        self._inc_node[2 * count:2 * stop:2] = src
-        self._inc_node[2 * count + 1:2 * stop:2] = dst
-        self._inc_neighbor[2 * count:2 * stop:2] = dst
-        self._inc_neighbor[2 * count + 1:2 * stop:2] = src
-        self._inc_edge[2 * count:2 * stop:2] = edge_ids
-        self._inc_edge[2 * count + 1:2 * stop:2] = edge_ids
-        self._num_events = stop
-        self._last_timestamp = float(timestamps[-1])
-        return edge_ids
-
-    def _reserve(self, needed: int) -> None:
-        self._src_col = _grow(self._src_col, needed)
-        self._dst_col = _grow(self._dst_col, needed)
-        self._time_col = _grow(self._time_col, needed)
-        self._label_col = _grow(self._label_col, needed)
-        self._feature_col = _grow(self._feature_col, needed)
-        self._inc_node = _grow(self._inc_node, 2 * needed)
-        self._inc_neighbor = _grow(self._inc_neighbor, 2 * needed)
-        self._inc_edge = _grow(self._inc_edge, 2 * needed)
+        self._check_mutable()
+        return self._store.append_batch(src, dst, timestamps, edge_features, labels)
 
     # ------------------------------------------------------------------ #
     # CSR adjacency view
     # ------------------------------------------------------------------ #
-    def _refresh_csr(self) -> None:
-        """Fold incidence entries ``[_csr_built, 2 * num_events)`` into the view.
-
-        Because events arrive chronologically, each node's new entries belong
-        at the *tail* of its CSR segment — so the update is a stable counting
-        sort of the new block plus two scatter copies, all O(built + new)
-        array work with memcpy-grade constants (no comparison sort of the
-        full history per refresh).
-        """
-        total = 2 * self._num_events
-        new_nodes = self._inc_node[self._csr_built:total]
-        order = np.argsort(new_nodes, kind="stable")
-        new_nodes = new_nodes[order]
-        new_counts = np.bincount(new_nodes, minlength=self.num_nodes)
-        new_indptr = self._csr_indptr.copy()
-        new_indptr[1:] += np.cumsum(new_counts)
-
-        merged_nodes = np.empty(total, dtype=np.int64)
-        merged_neighbors = np.empty(total, dtype=np.int64)
-        merged_edge_ids = np.empty(total, dtype=np.int64)
-        # Old entries keep their within-segment position; the whole segment
-        # shifts by the number of new entries inserted before it.
-        old_positions = np.arange(self._csr_built) \
-            + (new_indptr[self._csr_nodes] - self._csr_indptr[self._csr_nodes])
-        merged_nodes[old_positions] = self._csr_nodes
-        merged_neighbors[old_positions] = self._csr_neighbors
-        merged_edge_ids[old_positions] = self._csr_edge_ids
-        # New entries land at their segment's tail, in block (= time) order:
-        # new segment start + old segment length + rank within the node's
-        # slice of the sorted new block.
-        group_starts = np.concatenate(([0], np.cumsum(new_counts)[:-1]))
-        segment_rank = np.arange(len(new_nodes)) - group_starts[new_nodes]
-        old_degrees = np.diff(self._csr_indptr)
-        new_positions = new_indptr[new_nodes] + old_degrees[new_nodes] + segment_rank
-        merged_nodes[new_positions] = new_nodes
-        merged_neighbors[new_positions] = self._inc_neighbor[self._csr_built:total][order]
-        merged_edge_ids[new_positions] = self._inc_edge[self._csr_built:total][order]
-
-        self._csr_indptr = new_indptr
-        self._csr_nodes = merged_nodes
-        self._csr_neighbors = merged_neighbors
-        self._csr_edge_ids = merged_edge_ids
-        self._csr_times = self._time_col[:self._num_events][merged_edge_ids] \
-            if self._num_events else np.empty(0, dtype=np.float64)
-        self._csr_built = total
-
     def csr_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Flat CSR adjacency: ``(indptr, neighbors, edge_ids, timestamps)``.
 
@@ -294,58 +202,52 @@ class TemporalGraph:
         incrementally after appends, so batch neighbour queries amortise to
         pure array indexing.  Callers must treat the arrays as read-only.
         """
-        if self._csr_built != 2 * self._num_events:
-            self._refresh_csr()
-        return self._csr_indptr, self._csr_neighbors, self._csr_edge_ids, self._csr_times
+        return self._view.csr_view()
 
     # ------------------------------------------------------------------ #
     # Basic accessors
     # ------------------------------------------------------------------ #
     @property
     def num_events(self) -> int:
-        return self._num_events
+        return self._view.num_events
 
     @property
     def src(self) -> np.ndarray:
-        return self._src_col[:self._num_events]
+        return self._view.src
 
     @property
     def dst(self) -> np.ndarray:
-        return self._dst_col[:self._num_events]
+        return self._view.dst
 
     @property
     def timestamps(self) -> np.ndarray:
-        return self._time_col[:self._num_events]
+        return self._view.timestamps
 
     @property
     def labels(self) -> np.ndarray:
-        return self._label_col[:self._num_events]
+        return self._view.labels
 
     @property
     def edge_features(self) -> np.ndarray:
-        return self._feature_col[:self._num_events]
+        return self._view.edge_features
 
     def edge_features_for(self, edge_ids: np.ndarray) -> np.ndarray:
         """Edge feature rows for the given edge ids (no full-matrix copy).
 
         Ids of ``-1`` (padding from neighbour samplers) return zero rows.
         """
-        edge_ids = np.asarray(edge_ids, dtype=np.int64).reshape(-1)
-        valid = (edge_ids >= 0) & (edge_ids < self._num_events)
-        out = np.zeros((len(edge_ids), self.edge_feature_dim))
-        out[valid] = self._feature_col[edge_ids[valid]]
-        return out
+        return self._view.edge_features_for(edge_ids)
 
     def interaction(self, edge_id: int) -> Interaction:
-        if not 0 <= edge_id < self._num_events:
+        if not 0 <= edge_id < self.num_events:
             raise IndexError(f"edge id out of range: {edge_id}")
         return Interaction(
-            src=int(self._src_col[edge_id]),
-            dst=int(self._dst_col[edge_id]),
-            timestamp=float(self._time_col[edge_id]),
-            edge_feature=self._feature_col[edge_id],
+            src=int(self.src[edge_id]),
+            dst=int(self.dst[edge_id]),
+            timestamp=float(self.timestamps[edge_id]),
+            edge_feature=self.edge_features[edge_id],
             edge_id=edge_id,
-            label=float(self._label_col[edge_id]),
+            label=float(self.labels[edge_id]),
         )
 
     def interactions(self, start: int = 0, stop: int | None = None):
@@ -356,13 +258,7 @@ class TemporalGraph:
 
     def degree(self, node: int, before: float | None = None) -> int:
         """Number of events the node participated in (optionally before a time)."""
-        if not 0 <= node < self.num_nodes:
-            return 0
-        indptr, _, _, times = self.csr_view()
-        start, stop = int(indptr[node]), int(indptr[node + 1])
-        if before is None:
-            return stop - start
-        return int(np.searchsorted(times[start:stop], before, side="left"))
+        return self._view.degree(node, before)
 
     def node_events(self, node: int, before: float | None = None,
                     strict: bool = True) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -373,43 +269,29 @@ class TemporalGraph:
         order.  Ids outside ``[0, num_nodes)`` (e.g. the samplers' ``-1``
         padding sentinel) have no history and return empty arrays.
         """
-        if not 0 <= node < self.num_nodes:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty.copy(), np.empty(0, dtype=np.float64)
-        indptr, neighbors, edge_ids, times = self.csr_view()
-        start, stop = int(indptr[node]), int(indptr[node + 1])
-        if before is not None:
-            side = "left" if strict else "right"
-            stop = start + int(np.searchsorted(times[start:stop], before, side=side))
-        return neighbors[start:stop], edge_ids[start:stop], times[start:stop]
+        return self._view.node_events(node, before, strict)
 
     def active_nodes(self) -> np.ndarray:
         """Nodes that appear in at least one event."""
-        indptr, _, _, _ = self.csr_view()
-        return np.where(np.diff(indptr) > 0)[0].astype(np.int64)
+        return self._view.active_nodes()
 
     # ------------------------------------------------------------------ #
-    # Slicing
+    # Slicing (zero-copy views sharing this graph's storage)
     # ------------------------------------------------------------------ #
     def slice_by_time(self, start_time: float, end_time: float) -> "TemporalGraph":
-        """Return a new graph containing events with ``start_time <= t < end_time``."""
-        timestamps = self.timestamps
-        mask = (timestamps >= start_time) & (timestamps < end_time)
-        return self._subset(np.where(mask)[0])
+        """Events with ``start_time <= t < end_time`` as a zero-copy view."""
+        return TemporalGraph._wrap_view(self._view.slice_time(start_time, end_time))
 
     def slice_by_index(self, start: int, stop: int) -> "TemporalGraph":
-        """Return a new graph containing the events ``[start, stop)``."""
-        return self._subset(np.arange(start, min(stop, self.num_events)))
+        """Events ``[start, stop)`` as a zero-copy view."""
+        return TemporalGraph._wrap_view(self._view.slice_events(start, stop))
+
+    def node_slice(self, nodes: np.ndarray) -> "TemporalGraph":
+        """Events touching any of ``nodes`` (as src or dst), chronological."""
+        return TemporalGraph._wrap_view(self._view.node_slice(nodes))
 
     def _subset(self, indices: np.ndarray) -> "TemporalGraph":
-        indices = np.asarray(indices, dtype=np.int64)
-        subset = TemporalGraph(self.num_nodes, self.edge_feature_dim)
-        subset.add_interactions(
-            self._src_col[indices], self._dst_col[indices],
-            self._time_col[indices], self._feature_col[indices],
-            self._label_col[indices],
-        )
-        return subset
+        return TemporalGraph._wrap_view(self._view.select(indices))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"TemporalGraph(num_nodes={self.num_nodes}, num_events={self.num_events}, "

@@ -12,15 +12,16 @@ Dataflow
 
     scorer (parent process)                 propagation workers (children)
     ───────────────────────                 ──────────────────────────────
-    read shared mailbox  ──┐                ┌── task queue (one per worker,
-    encode + score         │  submit(batch, │   every batch broadcast to all)
+    read shared mailbox  ──┐                ┌── task queue: (seq, row range,
+    encode + score         │  submit(batch, │   embeddings) — no event payload
     apply z updates        ├──────────────► │
-    next batch ◄───────────┘  embeddings)   │  route_and_reduce  (concurrent,
-         ▲                                  │   CPU-heavy: φ, k-hop frontier,
-         │ backpressure: submit blocks      │   f, ρ on a local event store)
-         │ while backlog ≥ max_backlog      │  deliver            (serialised:
-         │                                  │   strict batch order via a shared
-         └───── shared mailbox arrays ◄─────┘   sequence counter)
+    append to EventStore ──┤  embeddings)   │  attach mmap EventStore (r/o)
+    next batch ◄───────────┘                │  extend GraphView to rows < seq
+         ▲                                  │  route_and_reduce  (concurrent,
+         │ backpressure: submit blocks      │   CPU-heavy: φ, k-hop frontier,
+         │ while backlog ≥ max_backlog      │   f, ρ on the SHARED store)
+         │                                  │  deliver            (serialised
+         └───── shared mailbox arrays ◄─────┘   or shard-local, see below)
                 (multiprocessing.shared_memory)
 
 * **Shared-memory mailbox** — :meth:`repro.core.mailbox.Mailbox.share_memory`
@@ -28,27 +29,50 @@ Dataflow
   segments; every worker :meth:`~repro.core.mailbox.Mailbox.attach`-es to the
   same physical pages, so a delivery is immediately visible to the scorer's
   next read with zero copying (the paper's key-value store).
-* **Broadcast ingress** — every worker receives every batch because routing
-  batch *n* needs the event store up to batch *n−1*; a worker ingests all
-  batches into its private :class:`~repro.graph.temporal_graph.TemporalGraph`
-  but routes only the batches assigned to it (``seq % num_workers``).
-* **In-order delivery** — routing (the heavy part) runs concurrently across
-  workers; the final ψ write into the shared mailbox is serialised in strict
-  batch order by a shared sequence counter, so the delivered-mail state is
-  *identical* to single-process sequential propagation (the equivalence tests
-  pin this against the simulator, bit for bit, for the deterministic
-  ``fifo``/``newest_overwrite`` policies).
+* **One shared event store** — the scorer appends every batch to an
+  mmap-backed :class:`~repro.storage.event_store.EventStore` and ships only
+  ``(seq, row range, embeddings)`` through the queue.  Workers attach the
+  store read-only and advance a
+  :class:`~repro.storage.graph_view.GraphView` to exactly the rows strictly
+  before each batch, so routing sees the same store prefix sequential
+  propagation would — with **one** physical copy of the stream per machine
+  instead of one private ``TemporalGraph`` per worker (the former scaling
+  wall: per-worker ingest cost and O(events × workers) resident memory).
+* **In-order delivery** (flat :class:`~repro.core.mailbox.Mailbox`) —
+  routing (the heavy part) runs concurrently across workers (batch ``seq``
+  goes to worker ``seq % num_workers``); the final ψ write into the shared
+  mailbox is serialised in strict batch order by a shared sequence counter,
+  so the delivered-mail state is *identical* to single-process sequential
+  propagation (the equivalence tests pin this against the simulator, bit for
+  bit, for the deterministic ``fifo``/``newest_overwrite`` policies).
+* **Shard-local delivery**
+  (:class:`~repro.storage.sharded_mailbox.ShardedMailbox`) — with a sharded
+  mailbox and ``num_workers == num_shards``, worker ``w`` attaches *only*
+  shard ``w``'s mailbox segments.  Every worker routes every batch (k-hop
+  frontiers cross shard boundaries, so routing needs the full adjacency —
+  which is cheap here, as the store itself is shared), then filters the
+  reduced receivers to its own shard and delivers *without any cross-worker
+  serialisation*: each node's mail sequence comes from exactly one worker
+  processing batches in order, and the ρ reduction is per-node, so the
+  result is still bit-equal to sequential propagation.  The trade is K×
+  duplicated routing compute for zero inter-worker coordination and
+  O(1/K)-sized per-worker mailbox state — the classic
+  replicated-compute/partitioned-state point in the design space.
 * **Bounded backlog** — :meth:`ServingRuntime.submit` blocks while
   ``submitted − delivered ≥ max_backlog``, so memory stays bounded when the
   stream outruns the workers (backpressure is applied *behind* the decision:
   the score has already been returned when submit blocks).
 * **Bounded-staleness watermark** — workers advance a shared event-time
-  watermark (the ``end_time`` of the last fully delivered batch).  A decision
-  can report exactly how stale the mailbox snapshot it read was:
-  ``batch.end_time − watermark``, in stream time units.
+  watermark (the ``end_time`` of the last fully delivered batch; with shards,
+  the minimum across workers).  A decision can report exactly how stale the
+  mailbox snapshot it read was: ``batch.end_time − watermark``.
 * **Graceful drain** — ``close()`` drains the backlog before tearing down;
   a worker receiving ``SIGTERM`` flushes every task already submitted before
-  exiting, so no mail is ever lost on shutdown.
+  exiting, so no mail is ever lost on shutdown.  A *failed* ``start()``
+  (worker dies or never reports ready) tears down symmetrically: workers are
+  terminated, the mailbox returns to private memory, and every
+  shared-memory segment and store file is removed — nothing leaks even when
+  the runtime never ran a batch.
 """
 
 from __future__ import annotations
@@ -56,7 +80,9 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_module
+import shutil
 import signal
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -66,6 +92,9 @@ import numpy as np
 from ..core.mailbox import Mailbox, SharedMailboxHandle
 from ..core.propagator import MailPropagator
 from ..graph.batching import EventBatch
+from ..storage.event_store import EventStore, EventStoreHandle
+from ..storage.graph_view import GraphView
+from ..storage.sharded_mailbox import ShardedMailbox, ShardedMailboxHandle
 
 __all__ = [
     "RuntimeConfig",
@@ -82,7 +111,9 @@ class RuntimeConfig:
     ``max_backlog`` is the bounded queue depth: the largest number of
     submitted-but-undelivered propagation batches before ``submit`` blocks.
     ``start_method`` defaults to ``fork`` where available (cheap worker
-    startup) and falls back to ``spawn``.
+    startup) and falls back to ``spawn``.  ``store_dir`` is where the shared
+    mmap event store lives (a fresh temp directory by default; point it at a
+    tmpfs / fast disk in deployment).
     """
 
     num_workers: int = 2
@@ -95,6 +126,7 @@ class RuntimeConfig:
     worker_nice: int = 10
     submit_timeout_s: float = 120.0
     drain_timeout_s: float = 300.0
+    store_dir: str | None = None
 
     def validate(self) -> "RuntimeConfig":
         if self.num_workers <= 0:
@@ -120,9 +152,10 @@ class PropagatorSpec:
 
     Workers cannot inherit the scorer's propagator object (it owns the
     mailbox and an unpicklable RNG lineage); instead each worker rebuilds one
-    from this spec, attached to the shared mailbox.  Because the samplers run
-    stateless (pure functions of node, time and seed), every rebuilt
-    propagator routes mail exactly like the original.
+    from this spec, attached to the shared mailbox and routing against the
+    shared event store.  Because the samplers run stateless (pure functions
+    of node, time and seed), every rebuilt propagator routes mail exactly
+    like the original.
     """
 
     num_nodes: int
@@ -147,10 +180,11 @@ class PropagatorSpec:
             },
         )
 
-    def build(self, mailbox: Mailbox) -> MailPropagator:
+    def build(self, mailbox, graph=None) -> MailPropagator:
+        """Rebuild the propagator; ``graph`` injects a shared read-only view."""
         return MailPropagator(mailbox=mailbox, num_nodes=self.num_nodes,
                               edge_feature_dim=self.edge_feature_dim,
-                              **self.kwargs)
+                              graph=graph, **self.kwargs)
 
 
 @dataclass
@@ -176,34 +210,76 @@ class StalenessSnapshot:
 
 @dataclass
 class _Task:
-    """One unit of propagation work shipped to every worker."""
+    """One unit of propagation work.
+
+    Carries no event payload: the events are rows ``[start_row, stop_row)``
+    of the shared store, appended by the scorer before this task was
+    enqueued (the queue gives the happens-before edge that makes the rows
+    visible to the worker's remap).
+    """
 
     seq: int
-    batch: EventBatch
+    start_row: int
+    stop_row: int
     src_embeddings: np.ndarray
     dst_embeddings: np.ndarray
     submitted_wall: float
 
 
+@dataclass
+class _WorkerSetup:
+    """Static, picklable part of a worker's configuration."""
+
+    worker_id: int
+    num_workers: int
+    sharded: bool
+    mailbox_handle: object  # SharedMailboxHandle | ShardedMailboxHandle
+    store_handle: EventStoreHandle
+    spec: PropagatorSpec
+    nice_increment: int
+
+
 _SENTINEL = None
 
 
-def _worker_main(worker_id: int, num_workers: int, handle: SharedMailboxHandle,
-                 spec: PropagatorSpec, task_queue, delivered, watermark,
-                 lag_sum, submitted, cond, ready, nice_increment: int) -> None:
-    """Propagation worker: route concurrently, deliver in strict batch order.
+def _batch_from_store(store: EventStore, start_row: int, stop_row: int) -> EventBatch:
+    """Reconstruct a task's batch from shared store rows (zero-copy views)."""
+    return EventBatch(
+        src=store.src[start_row:stop_row],
+        dst=store.dst[start_row:stop_row],
+        timestamps=store.timestamps[start_row:stop_row],
+        edge_features=store.edge_features[start_row:stop_row],
+        labels=store.labels[start_row:stop_row],
+        edge_ids=np.arange(start_row, stop_row, dtype=np.int64),
+    )
+
+
+def _worker_main(setup: _WorkerSetup, task_queue, delivered, watermark,
+                 lag_sum, submitted, cond, ready) -> None:
+    """Propagation worker: route concurrently against the shared store.
 
     Runs in a child process.  ``delivered``/``watermark``/``lag_sum`` are
-    shared values guarded by ``cond``; ``submitted`` is written by the parent
-    (under ``cond``) and read here only while draining after SIGTERM.
+    per-worker slots of shared arrays guarded by ``cond``; ``submitted`` is
+    written by the parent (under ``cond``) and read here only while draining
+    after SIGTERM.
     """
-    if nice_increment:
+    if setup.nice_increment:
         try:
-            os.nice(nice_increment)
+            os.nice(setup.nice_increment)
         except OSError:
             pass  # a sandbox may forbid renicing; run at normal priority
-    mailbox = Mailbox.attach(handle)
-    propagator = spec.build(mailbox)
+    worker_id = setup.worker_id
+    if setup.sharded:
+        mailbox = ShardedMailbox.attach(setup.mailbox_handle, shards=[worker_id])
+        shard_map = setup.mailbox_handle.shard_map
+    else:
+        mailbox = Mailbox.attach(setup.mailbox_handle)
+        shard_map = None
+    store = setup.store_handle.open()
+    # The view exposes exactly the store prefix routing is allowed to see;
+    # it starts empty and is advanced per task to the rows before the batch.
+    view = GraphView(store, start=0, stop=0)
+    propagator = setup.spec.build(mailbox, graph=view)
     terminating = False
 
     def _on_sigterm(signum, frame):
@@ -230,38 +306,59 @@ def _worker_main(worker_id: int, num_workers: int, handle: SharedMailboxHandle,
             except queue_module.Empty:
                 if terminating:
                     with cond:
-                        outstanding = submitted.value
+                        outstanding = submitted[worker_id]
                     if tasks_seen >= outstanding:
-                        break  # flushed everything ever submitted
+                        break  # flushed everything ever submitted to us
                 continue
             if task is _SENTINEL:
                 break
             tasks_seen += 1
 
-            batch = task.batch
-            if task.seq % num_workers == worker_id:
-                # Heavy half, concurrent: φ + k-hop routing + ρ against the
-                # worker's private event store (which holds batches < seq).
-                nodes, mails, times, _ = propagator.route_and_reduce(
-                    batch, task.src_embeddings, task.dst_embeddings
-                )
+            # Make the batch's rows visible (remaps if the writer grew the
+            # files), then advance the routing view to strictly-older events
+            # only — the same prefix sequential propagation would see.
+            store.ensure_visible(task.stop_row)
+            view.extend_to(task.start_row)
+            batch = _batch_from_store(store, task.start_row, task.stop_row)
+            end_time = float(store.timestamps[task.stop_row - 1]) \
+                if task.stop_row > task.start_row else None
+
+            # Heavy half, concurrent: φ + k-hop routing + ρ against the
+            # shared store prefix [0, start_row).
+            nodes, mails, times, _ = propagator.route_and_reduce(
+                batch, task.src_embeddings, task.dst_embeddings
+            )
+            if setup.sharded:
+                # Shard-local ψ: deliver only to our shard's nodes, no
+                # cross-worker ordering needed — each node's mail sequence
+                # comes from exactly this worker, in batch order.
+                keep = shard_map.shard_of(nodes) == worker_id if len(nodes) \
+                    else np.zeros(0, dtype=bool)
+                mailbox.deliver(nodes[keep], mails[keep], times[keep])
+                with cond:
+                    delivered[worker_id] = task.seq + 1
+                    if end_time is not None:
+                        watermark[worker_id] = max(watermark[worker_id], end_time)
+                    lag_sum[worker_id] += time.monotonic() - task.submitted_wall
+                    cond.notify_all()
+            else:
                 # Cheap half, serialised: wait for our turn in batch order,
                 # then write into the shared mailbox.  Exclusivity needs no
                 # lock around the write itself — only the worker whose seq
                 # matches the counter may proceed, and only it advances it.
                 with cond:
-                    while delivered.value != task.seq:
+                    while delivered[0] != task.seq:
                         cond.wait(1.0)
                 mailbox.deliver(nodes, mails, times)
                 with cond:
-                    delivered.value = task.seq + 1
-                    if len(batch):
-                        watermark.value = max(watermark.value, batch.end_time)
-                    lag_sum.value += time.monotonic() - task.submitted_wall
+                    delivered[0] = task.seq + 1
+                    if end_time is not None:
+                        watermark[0] = max(watermark[0], end_time)
+                    lag_sum[worker_id] += time.monotonic() - task.submitted_wall
                     cond.notify_all()
-            propagator.ingest_only(batch)
     finally:
         mailbox.release_shared()
+        store.close()
 
 
 class ServingRuntime:
@@ -278,26 +375,38 @@ class ServingRuntime:
 
     Also usable as a context manager (``with ServingRuntime.for_model(m) as
     rt:``), which starts on enter and closes on exit.
+
+    Pass a :class:`~repro.storage.sharded_mailbox.ShardedMailbox` (with
+    ``num_workers == num_shards``) to run in sharded mode: each worker then
+    attaches a single shard's mailbox segments and delivers shard-locally.
     """
 
-    def __init__(self, mailbox: Mailbox, spec: PropagatorSpec,
+    def __init__(self, mailbox, spec: PropagatorSpec,
                  config: RuntimeConfig | None = None):
         self.mailbox = mailbox
         self.spec = spec
         self.config = (config or RuntimeConfig()).validate()
+        self._sharded = isinstance(mailbox, ShardedMailbox)
+        if self._sharded and mailbox.num_shards != self.config.num_workers:
+            raise ValueError(
+                f"sharded serving needs one worker per shard: mailbox has "
+                f"{mailbox.num_shards} shards, config asks for "
+                f"{self.config.num_workers} workers")
         self._started = False
         self._workers: list = []
         self._queues: list = []
         self._submitted = 0
         self._max_backlog_seen = 0
+        self._store: EventStore | None = None
+        self._store_path: str | None = None
 
     @classmethod
     def for_model(cls, model, config: RuntimeConfig | None = None) -> "ServingRuntime":
         """Build a runtime that propagates for an APAN-style model.
 
         The model must be at the start of a stream (``reset_state()``): the
-        workers' private event stores begin empty, so a propagator that has
-        already ingested events would route differently than they do.
+        runtime's shared event store begins empty, so a propagator that has
+        already ingested events would route differently than the workers do.
         """
         propagator = getattr(model, "propagator", None)
         mailbox = getattr(model, "mailbox", None)
@@ -317,41 +426,68 @@ class ServingRuntime:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self, initial_watermark: float = 0.0) -> "ServingRuntime":
-        """Share the mailbox, fork the worker pool, open the ingress queues."""
+        """Share the mailbox, create the shared store, fork the worker pool.
+
+        Failure-safe: if a worker dies or never reports ready, everything is
+        torn down (workers terminated, mailbox back in private memory,
+        shared segments unlinked, store files removed) before the error
+        propagates — a failed start leaks nothing.
+        """
         if self._started:
             raise RuntimeError("runtime already started")
+        num_workers = self.config.num_workers
         handle = self.mailbox.share_memory()
-        ctx = mp.get_context(self.config.resolved_start_method())
-        self._cond = ctx.Condition()
-        self._delivered = ctx.Value("q", 0, lock=False)
-        self._watermark = ctx.Value("d", float(initial_watermark), lock=False)
-        self._lag_sum = ctx.Value("d", 0.0, lock=False)
-        self._submitted_shared = ctx.Value("q", 0, lock=False)
-        self._ready = ctx.Value("q", 0, lock=False)
-        self._queues = [ctx.Queue() for _ in range(self.config.num_workers)]
-        self._workers = [
-            ctx.Process(
-                target=_worker_main,
-                args=(worker_id, self.config.num_workers, handle, self.spec,
-                      queue, self._delivered, self._watermark, self._lag_sum,
-                      self._submitted_shared, self._cond, self._ready,
-                      self.config.worker_nice),
-                name=f"propagation-worker-{worker_id}",
-                daemon=True,
-            )
-            for worker_id, queue in enumerate(self._queues)
-        ]
-        for worker in self._workers:
-            worker.start()
-        # Block until every worker has attached the mailbox and rebuilt its
-        # propagator, so the first decision never competes with worker
-        # startup for CPU.
-        deadline = time.monotonic() + 60.0
-        with self._cond:
-            while self._ready.value < self.config.num_workers:
-                if time.monotonic() > deadline:
-                    raise RuntimeError("workers failed to become ready within 60s")
-                self._cond.wait(0.2)
+        try:
+            self._store_path = tempfile.mkdtemp(prefix="apan-events-",
+                                                dir=self.config.store_dir)
+            self._store = EventStore.create_mmap(
+                self._store_path, num_nodes=self.spec.num_nodes,
+                edge_feature_dim=self.spec.edge_feature_dim)
+            ctx = mp.get_context(self.config.resolved_start_method())
+            self._cond = ctx.Condition()
+            self._delivered = ctx.Array("q", num_workers, lock=False)
+            self._watermark = ctx.Array(
+                "d", [float(initial_watermark)] * num_workers, lock=False)
+            self._lag_sum = ctx.Array("d", num_workers, lock=False)
+            self._submitted_shared = ctx.Array("q", num_workers, lock=False)
+            self._ready = ctx.Value("q", 0, lock=False)
+            self._queues = [ctx.Queue() for _ in range(num_workers)]
+            self._workers = [
+                ctx.Process(
+                    target=_worker_main,
+                    args=(_WorkerSetup(
+                              worker_id=worker_id, num_workers=num_workers,
+                              sharded=self._sharded, mailbox_handle=handle,
+                              store_handle=self._store.handle(), spec=self.spec,
+                              nice_increment=self.config.worker_nice),
+                          queue, self._delivered, self._watermark,
+                          self._lag_sum, self._submitted_shared, self._cond,
+                          self._ready),
+                    name=f"propagation-worker-{worker_id}",
+                    daemon=True,
+                )
+                for worker_id, queue in enumerate(self._queues)
+            ]
+            for worker in self._workers:
+                worker.start()
+            # Block until every worker has attached the mailbox + store and
+            # rebuilt its propagator, so the first decision never competes
+            # with worker startup for CPU.
+            deadline = time.monotonic() + 60.0
+            with self._cond:
+                while self._ready.value < num_workers:
+                    dead = [worker.name for worker in self._workers
+                            if not worker.is_alive()]
+                    if dead:
+                        raise RuntimeError(
+                            f"propagation worker(s) died during startup: "
+                            f"{', '.join(dead)}")
+                    if time.monotonic() > deadline:
+                        raise RuntimeError("workers failed to become ready within 60s")
+                    self._cond.wait(0.2)
+        except BaseException:
+            self._teardown_failed_start()
+            raise
         self._submitted = 0
         self._max_backlog_seen = 0
         # (seq, wall time) of submissions not yet known to be delivered;
@@ -359,6 +495,28 @@ class ServingRuntime:
         self._inflight_walls: deque[tuple[int, float]] = deque()
         self._started = True
         return self
+
+    def _teardown_failed_start(self) -> None:
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        for queue in self._queues:
+            queue.cancel_join_thread()
+            queue.close()
+        self._workers = []
+        self._queues = []
+        self.mailbox.release_shared()
+        self._destroy_store()
+
+    def _destroy_store(self) -> None:
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        if self._store_path is not None:
+            shutil.rmtree(self._store_path, ignore_errors=True)
+            self._store_path = None
 
     def __enter__(self) -> "ServingRuntime":
         if not self._started:
@@ -372,7 +530,8 @@ class ServingRuntime:
         """Stop the pool; with ``drain`` (default) flush the backlog first.
 
         Always leaves the mailbox usable in this process: its final state is
-        copied back into private memory and the shared segments are unlinked.
+        copied back into private memory, the shared segments are unlinked
+        and the store files are removed.
         """
         if not self._started:
             return
@@ -395,6 +554,7 @@ class ServingRuntime:
                 queue.cancel_join_thread()
                 queue.close()
             self.mailbox.release_shared()
+            self._destroy_store()
             self._workers = []
             self._queues = []
             self._started = False
@@ -402,42 +562,59 @@ class ServingRuntime:
     # ------------------------------------------------------------------ #
     # Hot path
     # ------------------------------------------------------------------ #
+    def _delivered_floor(self) -> int:
+        """Batches known delivered everywhere (caller must hold the cond)."""
+        if self._sharded:
+            return min(self._delivered[:])
+        return int(self._delivered[0])
+
     def submit(self, batch: EventBatch, src_embeddings: np.ndarray,
                dst_embeddings: np.ndarray) -> int:
-        """Enqueue one batch's propagation; returns its sequence number.
+        """Append the batch to the shared store and enqueue its propagation.
 
-        Blocks while the backlog is at ``max_backlog`` (bounded-depth
-        backpressure).  This sits *behind* the decision on the serving path:
-        the score has already been produced when the producer blocks here.
+        Returns the batch's sequence number.  Blocks while the backlog is at
+        ``max_backlog`` (bounded-depth backpressure).  This sits *behind*
+        the decision on the serving path: the score has already been
+        produced when the producer blocks here.
         """
         if not self._started:
             raise RuntimeError("runtime is not started")
         deadline = time.monotonic() + self.config.submit_timeout_s
+        targets = range(self.config.num_workers) if self._sharded \
+            else [self._submitted % self.config.num_workers]
         with self._cond:
-            while self._submitted - self._delivered.value >= self.config.max_backlog:
+            while self._submitted - self._delivered_floor() >= self.config.max_backlog:
                 self._check_workers_alive()
                 if time.monotonic() > deadline:
                     raise RuntimeError(
                         f"backpressure timeout: backlog stuck at "
-                        f"{self._submitted - self._delivered.value} for "
+                        f"{self._submitted - self._delivered_floor()} for "
                         f"{self.config.submit_timeout_s}s"
                     )
                 self._cond.wait(0.5)
             seq = self._submitted
             self._submitted += 1
-            self._submitted_shared.value = self._submitted
-            backlog = self._submitted - self._delivered.value
+            for worker_id in targets:
+                self._submitted_shared[worker_id] += 1
+            backlog = self._submitted - self._delivered_floor()
             self._max_backlog_seen = max(self._max_backlog_seen, backlog)
+        # Publish the events before the task that references them: the
+        # store's meta write happens-before the queue put, so a worker that
+        # sees the task can always remap to the rows it names.
+        start_row = self._store.num_events
+        self._store.append_batch(batch.src, batch.dst, batch.timestamps,
+                                 batch.edge_features, batch.labels)
         task = _Task(
             seq=seq,
-            batch=batch,
+            start_row=start_row,
+            stop_row=self._store.num_events,
             src_embeddings=np.asarray(src_embeddings, dtype=np.float64),
             dst_embeddings=np.asarray(dst_embeddings, dtype=np.float64),
             submitted_wall=time.monotonic(),
         )
         self._inflight_walls.append((seq, task.submitted_wall))
-        for queue in self._queues:
-            queue.put(task)
+        for worker_id in targets:
+            self._queues[worker_id].put(task)
         return seq
 
     def drain(self, timeout_s: float | None = None) -> None:
@@ -447,11 +624,11 @@ class ServingRuntime:
         deadline = time.monotonic() + (timeout_s if timeout_s is not None
                                        else self.config.drain_timeout_s)
         with self._cond:
-            while self._delivered.value < self._submitted:
+            while self._delivered_floor() < self._submitted:
                 self._check_workers_alive()
                 if time.monotonic() > deadline:
                     raise RuntimeError(
-                        f"drain timeout: {self._submitted - self._delivered.value} "
+                        f"drain timeout: {self._submitted - self._delivered_floor()} "
                         f"batches still undelivered"
                     )
                 self._cond.wait(0.5)
@@ -464,9 +641,10 @@ class ServingRuntime:
         if not self._started:
             return StalenessSnapshot(backlog=0, watermark=float("inf"))
         with self._cond:
-            delivered = self._delivered.value
+            delivered = self._delivered_floor()
             backlog = self._submitted - delivered
-            watermark = self._watermark.value
+            watermark = min(self._watermark[:]) if self._sharded \
+                else self._watermark[0]
         while self._inflight_walls and self._inflight_walls[0][0] < delivered:
             self._inflight_walls.popleft()
         staleness_ms = 0.0
@@ -484,22 +662,32 @@ class ServingRuntime:
         if not self._started:
             return self._submitted
         with self._cond:
-            return int(self._delivered.value)
+            return self._delivered_floor()
 
     @property
     def max_backlog_seen(self) -> int:
         """Backlog high-water mark observed at submission time."""
         return self._max_backlog_seen
 
+    @property
+    def store(self) -> EventStore | None:
+        """The shared event store (while started); None otherwise."""
+        return self._store
+
     def mean_delivery_lag_ms(self) -> float:
-        """Mean wall-clock time from submit to delivery, over delivered tasks."""
+        """Mean wall-clock time from submit to delivery completion.
+
+        In sharded mode every batch completes once per worker; the mean is
+        over those per-worker completions.
+        """
         if not self._started:
             return 0.0
         with self._cond:
-            delivered = self._delivered.value
-            if delivered == 0:
+            completions = sum(self._delivered[:]) if self._sharded \
+                else int(self._delivered[0])
+            if completions == 0:
                 return 0.0
-            return 1000.0 * self._lag_sum.value / delivered
+            return 1000.0 * sum(self._lag_sum[:]) / completions
 
     def workers_alive(self) -> int:
         return sum(worker.is_alive() for worker in self._workers)

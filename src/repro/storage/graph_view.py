@@ -1,0 +1,419 @@
+"""Zero-copy graph views over a shared :class:`EventStore`.
+
+This is the access half of the storage/view split: a
+:class:`GraphView` is a lightweight *slice tracker* (the openDG
+``DGraph``/``DGSliceTracker`` idiom) — it owns no event data, only the
+half-open window ``[start, stop)`` of a shared
+:class:`~repro.storage.event_store.EventStore` it exposes, so slicing is
+O(1) and the column accessors are NumPy views into the store's buffers
+(``np.shares_memory`` holds; pinned by ``tests/storage/``).
+
+The temporal adjacency index (:class:`CsrIndex`) is maintained
+*incrementally*: appending a batch folds only the new incidence entries into
+the cached CSR with one stable counting sort — O(built + new) array work per
+refresh, never a rebuild (the incremental-view discipline of "Answering
+FO+MOD queries under updates").  An index can be restricted to a
+:class:`~repro.storage.shard_map.ShardMap` shard, in which case it only
+materialises the shard's rows — the per-shard CSR a sharded serving worker
+maintains.
+
+Three view flavours share one class:
+
+* **live view** (``stop=None``) — tracks the store's growth; this is what a
+  :class:`~repro.graph.temporal_graph.TemporalGraph` façade wraps.
+* **range view** (``[start, stop)``) — a frozen chronological window, as
+  returned by :meth:`GraphView.slice_time` / :meth:`GraphView.slice_events`.
+  A range view starting at 0 can follow the writer with
+  :meth:`GraphView.extend_to` — the serving workers' read path.
+* **selection view** — an explicit sorted id subset
+  (:meth:`GraphView.node_slice` / :meth:`GraphView.select`); columns are
+  gathered copies, everything else behaves identically.
+
+Edge ids exposed by a view are *view-local* (0-based within the view), which
+keeps samplers and batching oblivious to where the window sits in the store;
+for any view starting at event 0 they coincide with the store's global ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .shard_map import ShardMap
+
+__all__ = ["CsrIndex", "GraphView"]
+
+
+class CsrIndex:
+    """Incrementally-maintained flat CSR temporal adjacency.
+
+    Holds ``(indptr, neighbors, edge_ids, times)`` grouped by node, each
+    node's segment in chronological (= edge-id) order.  :meth:`extend` folds
+    a new chronological block of events into the cached view with one stable
+    counting sort plus two scatter copies — the same O(built + new) merge the
+    pre-split ``TemporalGraph`` used, kept bit-identical (pinned by
+    ``tests/storage/test_equivalence.py``).
+
+    With ``node_mask`` the index only materialises entries whose endpoint
+    falls in the mask — a per-shard CSR costs ``O(shard degree)`` memory, not
+    ``O(total degree)``.
+    """
+
+    def __init__(self, num_nodes: int, node_mask: np.ndarray | None = None):
+        self.num_nodes = num_nodes
+        self._node_mask = None if node_mask is None \
+            else np.asarray(node_mask, dtype=bool)
+        if self._node_mask is not None and len(self._node_mask) != num_nodes:
+            raise ValueError("node_mask must have num_nodes entries")
+        self._indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        self._nodes = np.empty(0, dtype=np.int64)
+        self._neighbors = np.empty(0, dtype=np.int64)
+        self._edge_ids = np.empty(0, dtype=np.int64)
+        self._times = np.empty(0, dtype=np.float64)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._nodes)
+
+    def view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, neighbors, edge_ids, timestamps)``; treat as read-only."""
+        return self._indptr, self._neighbors, self._edge_ids, self._times
+
+    def extend(self, src: np.ndarray, dst: np.ndarray, timestamps: np.ndarray,
+               first_edge_id: int) -> None:
+        """Fold a chronological event block into the index.
+
+        Events get ids ``first_edge_id + arange(len(src))``; each produces
+        two incidence entries (src→dst and dst→src, interleaved per event —
+        the order neighbour queries rely on for ties).
+        """
+        block = len(src)
+        if block == 0:
+            return
+        entry_nodes = np.empty(2 * block, dtype=np.int64)
+        entry_nodes[0::2] = src
+        entry_nodes[1::2] = dst
+        entry_neighbors = np.empty(2 * block, dtype=np.int64)
+        entry_neighbors[0::2] = dst
+        entry_neighbors[1::2] = src
+        entry_edges = np.repeat(
+            np.arange(first_edge_id, first_edge_id + block, dtype=np.int64), 2)
+        entry_times = np.repeat(np.asarray(timestamps, dtype=np.float64), 2)
+        if self._node_mask is not None:
+            keep = self._node_mask[entry_nodes]
+            entry_nodes = entry_nodes[keep]
+            entry_neighbors = entry_neighbors[keep]
+            entry_edges = entry_edges[keep]
+            entry_times = entry_times[keep]
+            if len(entry_nodes) == 0:
+                return
+
+        built = len(self._nodes)
+        order = np.argsort(entry_nodes, kind="stable")
+        sorted_nodes = entry_nodes[order]
+        new_counts = np.bincount(sorted_nodes, minlength=self.num_nodes)
+        new_indptr = self._indptr.copy()
+        new_indptr[1:] += np.cumsum(new_counts)
+
+        total = built + len(sorted_nodes)
+        merged_nodes = np.empty(total, dtype=np.int64)
+        merged_neighbors = np.empty(total, dtype=np.int64)
+        merged_edge_ids = np.empty(total, dtype=np.int64)
+        merged_times = np.empty(total, dtype=np.float64)
+        # Old entries keep their within-segment position; the whole segment
+        # shifts by the number of new entries inserted before it.
+        old_positions = np.arange(built) \
+            + (new_indptr[self._nodes] - self._indptr[self._nodes])
+        merged_nodes[old_positions] = self._nodes
+        merged_neighbors[old_positions] = self._neighbors
+        merged_edge_ids[old_positions] = self._edge_ids
+        merged_times[old_positions] = self._times
+        # New entries land at their segment's tail, in block (= time) order:
+        # new segment start + old segment length + rank within the node's
+        # slice of the sorted new block.
+        group_starts = np.concatenate(([0], np.cumsum(new_counts)[:-1]))
+        segment_rank = np.arange(len(sorted_nodes)) - group_starts[sorted_nodes]
+        old_degrees = np.diff(self._indptr)
+        new_positions = new_indptr[sorted_nodes] + old_degrees[sorted_nodes] \
+            + segment_rank
+        merged_nodes[new_positions] = sorted_nodes
+        merged_neighbors[new_positions] = entry_neighbors[order]
+        merged_edge_ids[new_positions] = entry_edges[order]
+        merged_times[new_positions] = entry_times[order]
+
+        self._indptr = new_indptr
+        self._nodes = merged_nodes
+        self._neighbors = merged_neighbors
+        self._edge_ids = merged_edge_ids
+        self._times = merged_times
+
+    def memory_footprint_bytes(self) -> int:
+        return sum(arr.nbytes for arr in
+                   (self._indptr, self._nodes, self._neighbors,
+                    self._edge_ids, self._times))
+
+
+class GraphView:
+    """A zero-copy window over a shared :class:`EventStore`.
+
+    Supports the full temporal-graph query API the samplers and batching
+    need (``csr_view`` / ``node_events`` / ``degree`` / ``active_nodes`` /
+    ``edge_features_for``) plus O(1) re-slicing (:meth:`slice_time`,
+    :meth:`slice_events`, :meth:`node_slice`).  Views are read-only; use
+    :meth:`~repro.graph.temporal_graph.TemporalGraph.materialize` (or the
+    store itself) to get an appendable copy.
+    """
+
+    def __init__(self, store, start: int = 0, stop: int | None = None,
+                 shard_map: ShardMap | None = None, shard: int | None = None):
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if stop is not None and stop < start:
+            raise ValueError("stop must be >= start")
+        if (shard_map is None) != (shard is None):
+            raise ValueError("shard_map and shard must be given together")
+        if shard_map is not None and not 0 <= shard < shard_map.num_shards:
+            raise ValueError(f"shard out of range: {shard}")
+        self.store = store
+        self._start = start
+        self._stop = stop
+        self._selection: np.ndarray | None = None
+        self.shard_map = shard_map
+        self.shard = shard
+        self._index: CsrIndex | None = None
+        self._indexed = 0  # view-local event count folded into _index
+
+    @classmethod
+    def _from_selection(cls, store, selection: np.ndarray,
+                        shard_map: ShardMap | None = None,
+                        shard: int | None = None) -> "GraphView":
+        view = cls(store, 0, 0, shard_map, shard)
+        view._selection = np.asarray(selection, dtype=np.int64)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.store.num_nodes
+
+    @property
+    def edge_feature_dim(self) -> int:
+        return self.store.edge_feature_dim
+
+    @property
+    def start(self) -> int:
+        return self._start
+
+    @property
+    def stop(self) -> int:
+        return self.store.num_events if self._stop is None else self._stop
+
+    @property
+    def is_live(self) -> bool:
+        """Does this view track the store's growth automatically?"""
+        return self._stop is None and self._selection is None
+
+    @property
+    def num_events(self) -> int:
+        if self._selection is not None:
+            return len(self._selection)
+        return self.stop - self._start
+
+    def __len__(self) -> int:
+        return self.num_events
+
+    def extend_to(self, num_events: int) -> "GraphView":
+        """Advance a range view's upper bound to ``num_events`` store events.
+
+        The serving workers' read path: after the writer publishes more
+        events, ``extend_to`` makes exactly the prefix a batch is allowed to
+        see visible (and the next :meth:`csr_view` folds only the new rows).
+        """
+        if self._selection is not None:
+            raise RuntimeError("selection views cannot be extended")
+        if self._stop is None:
+            return self  # live views track the store already
+        if num_events < self._stop:
+            raise ValueError(
+                f"cannot shrink a view: {num_events} < {self._stop}")
+        self.store.ensure_visible(num_events)
+        self._stop = num_events
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Columns (zero-copy for range views, gathered for selections)
+    # ------------------------------------------------------------------ #
+    def _column(self, name: str) -> np.ndarray:
+        column = getattr(self.store, name)
+        if self._selection is not None:
+            return column[self._selection]
+        return column[self._start:self.stop]
+
+    @property
+    def src(self) -> np.ndarray:
+        return self._column("src")
+
+    @property
+    def dst(self) -> np.ndarray:
+        return self._column("dst")
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._column("timestamps")
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._column("labels")
+
+    @property
+    def edge_features(self) -> np.ndarray:
+        return self._column("edge_features")
+
+    @property
+    def last_timestamp(self) -> float:
+        times = self.timestamps
+        return float(times[-1]) if len(times) else -np.inf
+
+    def edge_features_for(self, edge_ids: np.ndarray) -> np.ndarray:
+        """Edge feature rows for view-local edge ids (-1 padding -> zeros)."""
+        edge_ids = np.asarray(edge_ids, dtype=np.int64).reshape(-1)
+        valid = (edge_ids >= 0) & (edge_ids < self.num_events)
+        out = np.zeros((len(edge_ids), self.edge_feature_dim))
+        out[valid] = self.edge_features[edge_ids[valid]]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # CSR adjacency + temporal queries
+    # ------------------------------------------------------------------ #
+    def csr_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat CSR adjacency ``(indptr, neighbors, edge_ids, timestamps)``.
+
+        Maintained incrementally: only events appended since the last call
+        are folded in.  Edge ids are view-local.  Treat as read-only.
+        """
+        target = self.num_events
+        if self._index is None:
+            mask = None if self.shard_map is None \
+                else self.shard_map.mask(self.shard)
+            self._index = CsrIndex(self.num_nodes, node_mask=mask)
+        if self._indexed < target:
+            if self._selection is not None:
+                block = self._selection[self._indexed:target]
+                self._index.extend(
+                    self.store.src[block], self.store.dst[block],
+                    self.store.timestamps[block], first_edge_id=self._indexed)
+            else:
+                lo = self._start + self._indexed
+                hi = self._start + target
+                self._index.extend(
+                    self.store.src[lo:hi], self.store.dst[lo:hi],
+                    self.store.timestamps[lo:hi], first_edge_id=self._indexed)
+            self._indexed = target
+        return self._index.view()
+
+    def _check_shard_member(self, node: int) -> None:
+        if self.shard_map is not None and 0 <= node < self.num_nodes:
+            if int(self.shard_map.shard_of(np.asarray([node]))[0]) != self.shard:
+                raise ValueError(
+                    f"node {node} is not in shard {self.shard}; this view only "
+                    f"indexes its own shard's adjacency")
+
+    def degree(self, node: int, before: float | None = None) -> int:
+        """Number of view events the node participates in (optionally before t)."""
+        if not 0 <= node < self.num_nodes:
+            return 0
+        self._check_shard_member(node)
+        indptr, _, _, times = self.csr_view()
+        start, stop = int(indptr[node]), int(indptr[node + 1])
+        if before is None:
+            return stop - start
+        return int(np.searchsorted(times[start:stop], before, side="left"))
+
+    def node_events(self, node: int, before: float | None = None,
+                    strict: bool = True) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(neighbors, edge_ids, timestamps)`` of a node's view history.
+
+        Same contract as the pre-split ``TemporalGraph.node_events``: with
+        ``before``, only strictly-earlier (``strict=True``) or
+        earlier-or-equal events; ids outside ``[0, num_nodes)`` (sampler
+        padding) return empty arrays.
+        """
+        if not 0 <= node < self.num_nodes:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=np.float64)
+        self._check_shard_member(node)
+        indptr, neighbors, edge_ids, times = self.csr_view()
+        start, stop = int(indptr[node]), int(indptr[node + 1])
+        if before is not None:
+            side = "left" if strict else "right"
+            stop = start + int(np.searchsorted(times[start:stop], before, side=side))
+        return neighbors[start:stop], edge_ids[start:stop], times[start:stop]
+
+    def active_nodes(self) -> np.ndarray:
+        """Nodes with at least one view event (within the shard, if sharded)."""
+        indptr, _, _, _ = self.csr_view()
+        return np.where(np.diff(indptr) > 0)[0].astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Re-slicing (all O(1) or O(result); columns stay shared)
+    # ------------------------------------------------------------------ #
+    def slice_time(self, start_time: float, end_time: float) -> "GraphView":
+        """Events with ``start_time <= t < end_time`` as a zero-copy view.
+
+        Timestamps are non-decreasing (append contract), so the matching
+        events form a contiguous range — two binary searches, no mask.
+        """
+        times = self.timestamps
+        lo = int(np.searchsorted(times, start_time, side="left"))
+        hi = int(np.searchsorted(times, end_time, side="left"))
+        if self._selection is not None:
+            return GraphView._from_selection(self.store,
+                                             self._selection[lo:hi],
+                                             self.shard_map, self.shard)
+        return GraphView(self.store, self._start + lo, self._start + hi,
+                         self.shard_map, self.shard)
+
+    def slice_events(self, start: int, stop: int) -> "GraphView":
+        """Events ``[start, stop)`` (view-local indices) as a zero-copy view."""
+        start = max(0, min(start, self.num_events))
+        stop = max(start, min(stop, self.num_events))
+        if self._selection is not None:
+            return GraphView._from_selection(self.store,
+                                             self._selection[start:stop],
+                                             self.shard_map, self.shard)
+        return GraphView(self.store, self._start + start, self._start + stop,
+                         self.shard_map, self.shard)
+
+    def select(self, indices: np.ndarray) -> "GraphView":
+        """An explicit event subset (sorted view-local indices)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) and (indices.min() < 0 or indices.max() >= self.num_events):
+            raise IndexError("event index out of range")
+        if np.any(np.diff(indices) < 0):
+            raise ValueError("selection indices must be sorted (chronological)")
+        if self._selection is not None:
+            return GraphView._from_selection(self.store, self._selection[indices],
+                                             self.shard_map, self.shard)
+        return GraphView._from_selection(self.store, self._start + indices,
+                                         self.shard_map, self.shard)
+
+    def node_slice(self, nodes: np.ndarray) -> "GraphView":
+        """Events touching any of ``nodes`` (as src or dst), chronological."""
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        mask = np.isin(self.src, nodes) | np.isin(self.dst, nodes)
+        return self.select(np.where(mask)[0])
+
+    def for_shard(self, shard_map: ShardMap, shard: int) -> "GraphView":
+        """The same window with the CSR index restricted to one shard."""
+        if self._selection is not None:
+            return GraphView._from_selection(self.store, self._selection,
+                                             shard_map, shard)
+        return GraphView(self.store, self._start, self._stop, shard_map, shard)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        window = f"selection[{len(self._selection)}]" if self._selection is not None \
+            else f"[{self._start}, {'live' if self._stop is None else self._stop})"
+        shard = "" if self.shard_map is None \
+            else f", shard={self.shard}/{self.shard_map.num_shards}"
+        return f"GraphView({window} of {self.store!r}{shard})"

@@ -1,0 +1,278 @@
+"""Node-sharded mailbox: K shard-private :class:`Mailbox` segments.
+
+:class:`ShardedMailbox` partitions the mailbox state arrays by a
+:class:`~repro.storage.shard_map.ShardMap`: shard ``s`` owns a dense child
+:class:`~repro.core.mailbox.Mailbox` over its own nodes (local ids).  The
+point is the attach granularity — :meth:`share_memory` produces one handle
+*per shard*, so a serving worker maps only its shard's shared-memory
+segments (``attach(handle, shards=[w])``) instead of the whole mailbox:
+per-worker mapped state shrinks from ``O(num_nodes)`` to
+``O(num_nodes / K)``, and no two workers ever write the same pages.
+
+Semantics: for the deterministic update policies (``fifo``,
+``newest_overwrite``) a ShardedMailbox is *bit-equal* to a flat
+:class:`Mailbox` receiving the same delivery sequence — grouping a delivery
+batch by shard preserves each node's occurrence order, and nodes in
+different shards are different nodes.  (``reservoir`` draws from per-shard
+RNG streams, so it matches a flat mailbox only in distribution — same
+caveat the serving runtime already carries.)
+
+The duck-typed surface matches :class:`Mailbox` (``deliver`` / ``read`` /
+``gather_many`` / ``reset`` / ``occupancy`` / ``share_memory`` /
+``attach`` / ``release_shared``), so the model, encoder and serving layers
+take either interchangeably.  The dense global-order array properties
+(``mails``, ``mail_times``, ``valid``, …) are provided for inspection and
+equivalence testing but are gathered *copies* — code on the hot path should
+use ``read``/``gather_many``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.mailbox import Mailbox, MailboxGather, SharedMailboxHandle
+from .shard_map import ShardMap
+
+__all__ = ["ShardedMailbox", "ShardedMailboxHandle"]
+
+
+@dataclass
+class ShardedMailboxHandle:
+    """Picklable description of a shared :class:`ShardedMailbox`.
+
+    One :class:`SharedMailboxHandle` per shard; a worker passes the subset of
+    shards it serves to :meth:`ShardedMailbox.attach` and maps only those
+    segments.
+    """
+
+    shard_map: ShardMap
+    num_slots: int
+    mail_dim: int
+    update_policy: str = "fifo"
+    seed: int | None = None
+    shards: list = field(default_factory=list)
+
+
+class ShardedMailbox:
+    """K shard-private mailboxes behind the flat :class:`Mailbox` interface."""
+
+    def __init__(self, shard_map: ShardMap, num_slots: int, mail_dim: int,
+                 update_policy: str = "fifo", seed: int | None = None):
+        self.shard_map = shard_map
+        self.num_nodes = shard_map.num_nodes
+        self.num_slots = num_slots
+        self.mail_dim = mail_dim
+        self.update_policy = update_policy
+        self.seed = seed
+        self._attached = False
+        # A hash shard can be empty for tiny graphs; a 1-node child keeps the
+        # Mailbox invariants and is simply never addressed.
+        self._shards: list[Mailbox | None] = [
+            Mailbox(max(1, shard_map.shard_size(shard)), num_slots, mail_dim,
+                    update_policy=update_policy,
+                    seed=None if seed is None else seed + shard)
+            for shard in range(shard_map.num_shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Shard plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self.shard_map.num_shards
+
+    @property
+    def attached_shards(self) -> list[int]:
+        """Shards whose segments this process has mapped (all, for the owner)."""
+        return [s for s, box in enumerate(self._shards) if box is not None]
+
+    def shard_box(self, shard: int) -> Mailbox:
+        """The child mailbox of one shard (local node ids)."""
+        box = self._shards[shard]
+        if box is None:
+            raise RuntimeError(
+                f"shard {shard} is not attached in this process "
+                f"(attached: {self.attached_shards})")
+        return box
+
+    def _validate(self, nodes: np.ndarray) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        if len(nodes) and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise IndexError("node id out of range")
+        return nodes
+
+    # ------------------------------------------------------------------ #
+    # Mailbox interface
+    # ------------------------------------------------------------------ #
+    def deliver(self, nodes: np.ndarray, mails: np.ndarray,
+                timestamps: np.ndarray) -> None:
+        """ψ update, grouped by shard; per-node occurrence order is preserved."""
+        nodes = self._validate(nodes)
+        mails = np.asarray(mails, dtype=np.float64)
+        timestamps = np.asarray(timestamps, dtype=np.float64).reshape(-1)
+        if mails.shape != (len(nodes), self.mail_dim):
+            raise ValueError(
+                f"mails must have shape ({len(nodes)}, {self.mail_dim}), "
+                f"got {mails.shape}")
+        if len(timestamps) != len(nodes):
+            raise ValueError("timestamps must align with nodes")
+        if len(nodes) == 0:
+            return
+        shards = self.shard_map.shard_of(nodes)
+        for shard in np.unique(shards):
+            member = shards == shard
+            self.shard_box(int(shard)).deliver(
+                self.shard_map.local_of(nodes[member]),
+                mails[member], timestamps[member])
+
+    def read(self, nodes: np.ndarray,
+             sort_by_time: bool = True) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense mailbox read across shards; same contract as :meth:`Mailbox.read`."""
+        nodes = self._validate(nodes)
+        mails = np.zeros((len(nodes), self.num_slots, self.mail_dim))
+        times = np.zeros((len(nodes), self.num_slots))
+        valid = np.zeros((len(nodes), self.num_slots), dtype=bool)
+        if len(nodes) == 0:
+            return mails, times, valid
+        shards = self.shard_map.shard_of(nodes)
+        for shard in np.unique(shards):
+            member = np.where(shards == shard)[0]
+            shard_mails, shard_times, shard_valid = self.shard_box(int(shard)).read(
+                self.shard_map.local_of(nodes[member]), sort_by_time=sort_by_time)
+            mails[member] = shard_mails
+            times[member] = shard_times
+            valid[member] = shard_valid
+        return mails, times, valid
+
+    def gather_many(self, *node_groups: np.ndarray,
+                    sort_by_time: bool = True) -> MailboxGather:
+        """Deduplicated batched read (see :meth:`Mailbox.gather_many`)."""
+        if not node_groups:
+            raise ValueError("gather_many requires at least one node group")
+        flat = np.concatenate(
+            [np.asarray(group, dtype=np.int64).reshape(-1) for group in node_groups]
+        )
+        nodes, inverse = np.unique(flat, return_inverse=True)
+        mails, times, valid = self.read(nodes, sort_by_time=sort_by_time)
+        return MailboxGather(nodes=nodes, inverse=inverse.reshape(-1),
+                             mails=mails, times=times, valid=valid)
+
+    def reset(self) -> None:
+        for box in self._shards:
+            if box is not None:
+                box.reset()
+
+    def occupancy(self, nodes: np.ndarray | None = None) -> np.ndarray:
+        if nodes is None:
+            nodes = np.arange(self.num_nodes, dtype=np.int64)
+        nodes = self._validate(nodes)
+        out = np.zeros(len(nodes), dtype=np.int64)
+        if len(nodes) == 0:
+            return out
+        shards = self.shard_map.shard_of(nodes)
+        for shard in np.unique(shards):
+            member = np.where(shards == shard)[0]
+            out[member] = self.shard_box(int(shard)).occupancy(
+                self.shard_map.local_of(nodes[member]))
+        return out
+
+    def memory_footprint_bytes(self) -> int:
+        return sum(box.memory_footprint_bytes()
+                   for box in self._shards if box is not None)
+
+    # ------------------------------------------------------------------ #
+    # Dense global-order state (gathered copies, for tests/inspection)
+    # ------------------------------------------------------------------ #
+    def _gathered(self, name: str, dtype, trailing: tuple) -> np.ndarray:
+        out = np.zeros((self.num_nodes,) + trailing, dtype=dtype)
+        for shard in self.attached_shards:
+            members = self.shard_map.nodes_of(shard)
+            if len(members):
+                out[members] = getattr(self._shards[shard], name)[:len(members)]
+        return out
+
+    @property
+    def mails(self) -> np.ndarray:
+        return self._gathered("mails", np.float64, (self.num_slots, self.mail_dim))
+
+    @property
+    def mail_times(self) -> np.ndarray:
+        return self._gathered("mail_times", np.float64, (self.num_slots,))
+
+    @property
+    def valid(self) -> np.ndarray:
+        return self._gathered("valid", np.bool_, (self.num_slots,))
+
+    @property
+    def _next_slot(self) -> np.ndarray:
+        return self._gathered("_next_slot", np.int64, ())
+
+    @property
+    def _delivered(self) -> np.ndarray:
+        return self._gathered("_delivered", np.int64, ())
+
+    # ------------------------------------------------------------------ #
+    # Shared memory (per-shard segments)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_shared(self) -> bool:
+        return any(box is not None and box.is_shared for box in self._shards)
+
+    def share_memory(self) -> ShardedMailboxHandle:
+        """Move every shard's state into shared memory; per-shard handles.
+
+        Exception-safe: a failure mid-way releases the shards already shared,
+        so no segments leak.
+        """
+        if self.is_shared:
+            raise RuntimeError("mailbox state is already in shared memory")
+        handles: list[SharedMailboxHandle] = []
+        try:
+            for shard in range(self.num_shards):
+                handles.append(self._shards[shard].share_memory())
+        except Exception:
+            for shard in range(len(handles)):
+                self._shards[shard].release_shared()
+            raise
+        return ShardedMailboxHandle(
+            shard_map=self.shard_map, num_slots=self.num_slots,
+            mail_dim=self.mail_dim, update_policy=self.update_policy,
+            seed=self.seed, shards=handles,
+        )
+
+    @classmethod
+    def attach(cls, handle: ShardedMailboxHandle,
+               shards: list[int] | None = None) -> "ShardedMailbox":
+        """Map an existing shared ShardedMailbox — only the given shards.
+
+        ``shards=None`` maps all of them; a serving worker passes its own
+        shard id and pays one shard's worth of address space.
+        """
+        mailbox = cls.__new__(cls)
+        mailbox.shard_map = handle.shard_map
+        mailbox.num_nodes = handle.shard_map.num_nodes
+        mailbox.num_slots = handle.num_slots
+        mailbox.mail_dim = handle.mail_dim
+        mailbox.update_policy = handle.update_policy
+        mailbox.seed = handle.seed
+        mailbox._attached = True
+        mailbox._shards = [None] * handle.shard_map.num_shards
+        wanted = range(handle.shard_map.num_shards) if shards is None else shards
+        for shard in wanted:
+            if not 0 <= shard < handle.shard_map.num_shards:
+                raise ValueError(f"shard out of range: {shard}")
+            mailbox._shards[shard] = Mailbox.attach(handle.shards[shard])
+        return mailbox
+
+    def release_shared(self) -> None:
+        """Detach every attached shard (owner: copy back + unlink)."""
+        for box in self._shards:
+            if box is not None:
+                box.release_shared()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedMailbox(num_nodes={self.num_nodes}, "
+                f"num_shards={self.num_shards}, num_slots={self.num_slots}, "
+                f"mail_dim={self.mail_dim}, attached={self.attached_shards})")

@@ -168,3 +168,50 @@ class TestSlicing:
     def test_interactions_iterator(self):
         events = list(build_simple_graph().interactions(1, 3))
         assert [e.edge_id for e in events] == [1, 2]
+
+
+class TestZeroCopySlicing:
+    """Slices are views over the parent's storage, not copies."""
+
+    def test_slices_share_parent_memory(self):
+        graph = build_simple_graph()
+        for subset in (graph.slice_by_time(2.0, 4.0),
+                       graph.slice_by_index(1, 3)):
+            assert np.shares_memory(subset.src, graph.store.src)
+            assert np.shares_memory(subset.dst, graph.store.dst)
+            assert np.shares_memory(subset.timestamps, graph.store.timestamps)
+            assert np.shares_memory(subset.edge_features,
+                                    graph.store.edge_features)
+            assert np.shares_memory(subset.labels, graph.store.labels)
+
+    def test_slices_are_read_only(self):
+        subset = build_simple_graph().slice_by_index(0, 2)
+        assert subset.is_view
+        with pytest.raises(RuntimeError, match="read-only view"):
+            subset.add_interaction(0, 1, 10.0, [0, 0, 0])
+        with pytest.raises(RuntimeError, match="read-only view"):
+            subset.add_interactions(np.asarray([0]), np.asarray([1]),
+                                    np.asarray([10.0]), np.zeros((1, 3)))
+
+    def test_materialize_gives_independent_appendable_copy(self):
+        graph = build_simple_graph()
+        subset = graph.slice_by_index(0, 2)
+        copy = subset.materialize()
+        assert not copy.is_view
+        assert not np.shares_memory(copy.src, graph.store.src)
+        copy.add_interaction(0, 1, 10.0, [0, 0, 0])
+        assert copy.num_events == 3
+        assert subset.num_events == 2  # parent slice untouched
+
+    def test_parent_stays_appendable_after_slicing(self):
+        graph = build_simple_graph()
+        subset = graph.slice_by_time(1.0, 3.0)
+        graph.add_interaction(2, 3, 5.0, [1, 1, 1])
+        assert graph.num_events == 5
+        assert subset.num_events == 2  # frozen window
+
+    def test_nested_slices_still_share_root_storage(self):
+        graph = build_simple_graph()
+        nested = graph.slice_by_index(0, 3).slice_by_index(1, 3)
+        assert np.shares_memory(nested.timestamps, graph.store.timestamps)
+        np.testing.assert_allclose(nested.timestamps, [2.0, 3.0])

@@ -354,3 +354,176 @@ class TestServiceIntegration:
         for mode, report in reports.items():
             assert report.mode == mode
             assert report.num_decisions == 3 * 50
+
+
+def _shm_segment_names():
+    """Names of POSIX shared-memory segments currently in /dev/shm."""
+    try:
+        return {name for name in os.listdir("/dev/shm")
+                if not name.startswith("sem.")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _event_store_dirs():
+    import glob
+    import tempfile
+    return set(glob.glob(os.path.join(tempfile.gettempdir(), "apan-events-*")))
+
+
+class TestSharedStateCleanup:
+    """A runtime failure must never leak shared-memory segments or store files.
+
+    Regression tests for the leak where a worker dying before detaching (or
+    before ever becoming ready) left the mailbox's shared segments linked in
+    /dev/shm forever: start() raised with the runtime marked un-started, so
+    close() was a no-op and release_shared() never ran.
+    """
+
+    def test_failed_start_cleans_up_everything(self):
+        segments_before = _shm_segment_names()
+        stores_before = _event_store_dirs()
+        mailbox = Mailbox(NUM_NODES, SLOTS, DIM)
+        # A spec the worker cannot build: it dies before reporting ready.
+        spec = PropagatorSpec(NUM_NODES, DIM, dict(sampling="no-such-strategy"))
+        runtime = ServingRuntime(mailbox, spec, RuntimeConfig(num_workers=2))
+        with pytest.raises(RuntimeError, match="died during startup"):
+            runtime.start()
+        assert not mailbox.is_shared
+        assert _shm_segment_names() == segments_before
+        assert _event_store_dirs() == stores_before
+        # The mailbox survived the failed start in private memory.
+        mailbox.read(np.array([0, 1]))
+        runtime.close()  # idempotent no-op after the failed start
+
+    def test_sigkilled_worker_close_unlinks_segments(self):
+        segments_before = _shm_segment_names()
+        stores_before = _event_store_dirs()
+        mailbox = Mailbox(NUM_NODES, SLOTS, DIM)
+        spec = PropagatorSpec(NUM_NODES, DIM,
+                              dict(num_hops=2, num_neighbors=5, seed=3))
+        runtime = ServingRuntime(mailbox, spec,
+                                 RuntimeConfig(num_workers=2, max_backlog=4))
+        runtime.start()
+        for pid in runtime.worker_pids():
+            os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + 30.0
+        while runtime.workers_alive():
+            if time.monotonic() > deadline:
+                pytest.fail("SIGKILLed workers did not exit")
+            time.sleep(0.02)
+        runtime.close(drain=False)
+        assert not mailbox.is_shared
+        assert _shm_segment_names() == segments_before
+        assert _event_store_dirs() == stores_before
+
+    def test_mailbox_finalizer_unlinks_segments_without_release(self):
+        """Dropping a shared mailbox without release_shared() must not leak."""
+        import gc
+        segments_before = _shm_segment_names()
+        mailbox = Mailbox(NUM_NODES, SLOTS, DIM)
+        mailbox.share_memory()
+        assert _shm_segment_names() != segments_before
+        del mailbox
+        gc.collect()
+        assert _shm_segment_names() == segments_before
+
+    def test_share_memory_partial_failure_leaks_nothing(self, monkeypatch):
+        """shm exhaustion mid-share releases the segments already created."""
+        from multiprocessing import shared_memory as shm_module
+        segments_before = _shm_segment_names()
+        real_shared_memory = shm_module.SharedMemory
+        calls = {"n": 0}
+
+        def failing_shared_memory(*args, **kwargs):
+            if kwargs.get("create"):
+                calls["n"] += 1
+                if calls["n"] == 3:
+                    raise OSError(28, "No space left on device")
+            return real_shared_memory(*args, **kwargs)
+
+        import repro.core.mailbox as mailbox_module
+        monkeypatch.setattr(mailbox_module.shared_memory, "SharedMemory",
+                            failing_shared_memory)
+        mailbox = Mailbox(NUM_NODES, SLOTS, DIM)
+        mailbox.deliver(np.array([0]), np.ones((1, DIM)), np.array([1.0]))
+        state_before = mailbox.mails.copy()
+        with pytest.raises(OSError):
+            mailbox.share_memory()
+        assert not mailbox.is_shared
+        assert _shm_segment_names() == segments_before
+        # State survived the failed share and the mailbox still works.
+        assert np.array_equal(mailbox.mails, state_before)
+        mailbox.deliver(np.array([1]), np.ones((1, DIM)), np.array([2.0]))
+
+
+class TestShardedRuntime:
+    """Shard-per-worker serving: partitioned mailbox state, bit-equal mail."""
+
+    def _run_sharded(self, batches, num_shards, update_policy="fifo"):
+        from repro.storage import ShardMap, ShardedMailbox
+        shard_map = ShardMap(NUM_NODES, num_shards=num_shards)
+        mailbox = ShardedMailbox(shard_map, SLOTS, DIM,
+                                 update_policy=update_policy)
+        spec = PropagatorSpec(NUM_NODES, DIM,
+                              dict(num_hops=2, num_neighbors=5, seed=3))
+        with ServingRuntime(mailbox, spec,
+                            RuntimeConfig(num_workers=num_shards,
+                                          max_backlog=8)) as runtime:
+            for batch, src_emb, dst_emb in batches:
+                runtime.submit(batch, src_emb, dst_emb)
+            runtime.drain()
+        return mailbox
+
+    def test_sharded_delivery_matches_sequential_bit_for_bit(self):
+        batches = make_stream(num_events=3_000, batch_size=150)
+        reference = sequential_reference(batches)
+        sharded = self._run_sharded(batches, num_shards=3)
+        assert_mailboxes_equal(reference, sharded)
+
+    def test_single_shard_degenerate_matches_sequential(self):
+        batches = make_stream(num_events=1_000, batch_size=100)
+        reference = sequential_reference(batches)
+        sharded = self._run_sharded(batches, num_shards=1)
+        assert_mailboxes_equal(reference, sharded)
+
+    def test_newest_overwrite_sharded_matches_sequential(self):
+        batches = make_stream(num_events=1_000, batch_size=100)
+        reference = sequential_reference(batches,
+                                         update_policy="newest_overwrite")
+        sharded = self._run_sharded(batches, num_shards=2,
+                                    update_policy="newest_overwrite")
+        assert_mailboxes_equal(reference, sharded)
+
+    def test_worker_count_must_match_shard_count(self):
+        from repro.storage import ShardMap, ShardedMailbox
+        shard_map = ShardMap(NUM_NODES, num_shards=3)
+        mailbox = ShardedMailbox(shard_map, SLOTS, DIM)
+        spec = PropagatorSpec(NUM_NODES, DIM, dict(seed=3))
+        with pytest.raises(ValueError, match="one worker per shard"):
+            ServingRuntime(mailbox, spec, RuntimeConfig(num_workers=2))
+
+
+class TestSharedEventStore:
+    def test_store_exists_while_started_and_is_destroyed_on_close(self):
+        batches = make_stream(num_events=500, batch_size=100)
+        mailbox = Mailbox(NUM_NODES, SLOTS, DIM)
+        spec = PropagatorSpec(NUM_NODES, DIM,
+                              dict(num_hops=2, num_neighbors=5, seed=3))
+        runtime = ServingRuntime(mailbox, spec,
+                                 RuntimeConfig(num_workers=1, max_backlog=8))
+        runtime.start()
+        try:
+            assert runtime.store is not None
+            store_path = runtime.store._path
+            for batch, src_emb, dst_emb in batches:
+                runtime.submit(batch, src_emb, dst_emb)
+            runtime.drain()
+            # Every submitted event is in the shared store, in order.
+            assert runtime.store.num_events == 500
+            expected = np.concatenate([b.timestamps for b, _, _ in batches])
+            assert np.array_equal(runtime.store.timestamps, expected)
+        finally:
+            runtime.close()
+        assert runtime.store is None
+        assert not os.path.exists(store_path)

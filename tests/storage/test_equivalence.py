@@ -1,0 +1,218 @@
+"""Pins the storage subsystem bit-equal to the pre-split TemporalGraph.
+
+The façade contract: a TemporalGraph built through EventStore/GraphView must
+answer every query — appends, CSR adjacency, node histories, slicing,
+neighbour sampling — exactly as the pre-split monolith did.  The reference
+here is recomputed from first principles (brute-force per-node chronological
+adjacency), which is what the monolith's fold was proven against.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.graph.neighbor_sampler import make_sampler
+from repro.graph.temporal_graph import TemporalGraph
+from repro.storage import EventStore, GraphView
+
+
+def make_stream(n=250, num_nodes=30, dim=4, seed=5):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, n)
+    dst = rng.integers(0, num_nodes, n)
+    ts = np.sort(rng.uniform(0.0, 80.0, n))
+    ef = rng.normal(size=(n, dim))
+    lab = rng.integers(0, 2, n).astype(np.float64)
+    return src, dst, ts, ef, lab, num_nodes
+
+
+def graphs_equal(a: TemporalGraph, b: TemporalGraph) -> None:
+    assert a.num_events == b.num_events
+    assert np.array_equal(a.src, b.src)
+    assert np.array_equal(a.dst, b.dst)
+    assert np.array_equal(a.timestamps, b.timestamps)
+    assert np.array_equal(a.edge_features, b.edge_features)
+    assert np.array_equal(a.labels, b.labels)
+    for got, want in zip(a.csr_view(), b.csr_view()):
+        assert np.array_equal(got, want)
+
+
+class TestConstructionPaths:
+    def test_per_event_equals_bulk(self):
+        src, dst, ts, ef, lab, num_nodes = make_stream(120)
+        bulk = TemporalGraph.from_arrays(src, dst, ts, ef, lab,
+                                         num_nodes=num_nodes)
+        incremental = TemporalGraph(num_nodes, ef.shape[1])
+        for i in range(len(src)):
+            edge_id = incremental.add_interaction(int(src[i]), int(dst[i]),
+                                                  float(ts[i]), ef[i],
+                                                  float(lab[i]))
+            assert edge_id == i
+        graphs_equal(incremental, bulk)
+
+    def test_chunked_equals_bulk(self):
+        src, dst, ts, ef, lab, num_nodes = make_stream()
+        bulk = TemporalGraph.from_arrays(src, dst, ts, ef, lab,
+                                         num_nodes=num_nodes)
+        chunked = TemporalGraph(num_nodes, ef.shape[1])
+        for start in range(0, len(src), 37):
+            stop = min(start + 37, len(src))
+            chunked.add_interactions(src[start:stop], dst[start:stop],
+                                     ts[start:stop], ef[start:stop],
+                                     lab[start:stop])
+        graphs_equal(chunked, bulk)
+
+    def test_mmap_store_equals_memory_store(self, tmp_path):
+        src, dst, ts, ef, lab, num_nodes = make_stream()
+        memory = TemporalGraph.from_arrays(src, dst, ts, ef, lab,
+                                           num_nodes=num_nodes)
+        store = EventStore.create_mmap(tmp_path / "events",
+                                       num_nodes=num_nodes,
+                                       edge_feature_dim=ef.shape[1])
+        store.append_batch(src, dst, ts, ef, lab)
+        mmapped = TemporalGraph.from_store(store)
+        graphs_equal(mmapped, memory)
+
+
+class TestLegacyErrorContract:
+    def test_single_event_errors(self):
+        graph = TemporalGraph(5, 2)
+        graph.add_interaction(0, 1, 5.0, np.zeros(2))
+        with pytest.raises(ValueError, match="chronological order"):
+            graph.add_interaction(0, 1, 4.0, np.zeros(2))
+        with pytest.raises(IndexError, match="node id out of range"):
+            graph.add_interaction(0, 5, 6.0, np.zeros(2))
+        with pytest.raises(ValueError, match="edge feature dim mismatch"):
+            graph.add_interaction(0, 1, 6.0, np.zeros(3))
+
+    def test_interaction_accessors(self):
+        src, dst, ts, ef, lab, num_nodes = make_stream(20)
+        graph = TemporalGraph.from_arrays(src, dst, ts, ef, lab,
+                                          num_nodes=num_nodes)
+        event = graph.interaction(7)
+        assert event.src == src[7] and event.dst == dst[7]
+        assert event.timestamp == ts[7]
+        assert np.array_equal(event.edge_feature, ef[7])
+        rev = event.reversed()
+        assert rev.src == dst[7] and rev.dst == src[7]
+        with pytest.raises(IndexError):
+            graph.interaction(20)
+        assert len(list(graph.interactions(5, 10))) == 5
+
+
+class TestSlicingEquivalence:
+    """Slices answer like independently-built graphs over the same events."""
+
+    def test_slice_by_time_matches_rebuilt(self):
+        src, dst, ts, ef, lab, num_nodes = make_stream()
+        graph = TemporalGraph.from_arrays(src, dst, ts, ef, lab,
+                                          num_nodes=num_nodes)
+        t0, t1 = 20.0, 60.0
+        sliced = graph.slice_by_time(t0, t1)
+        mask = (ts >= t0) & (ts < t1)
+        rebuilt = TemporalGraph.from_arrays(src[mask], dst[mask], ts[mask],
+                                            ef[mask], lab[mask],
+                                            num_nodes=num_nodes)
+        graphs_equal(sliced, rebuilt)
+
+    def test_slice_by_index_matches_rebuilt(self):
+        src, dst, ts, ef, lab, num_nodes = make_stream()
+        graph = TemporalGraph.from_arrays(src, dst, ts, ef, lab,
+                                          num_nodes=num_nodes)
+        sliced = graph.slice_by_index(40, 180)
+        rebuilt = TemporalGraph.from_arrays(src[40:180], dst[40:180],
+                                            ts[40:180], ef[40:180],
+                                            lab[40:180], num_nodes=num_nodes)
+        graphs_equal(sliced, rebuilt)
+
+    def test_node_slice_matches_rebuilt(self):
+        src, dst, ts, ef, lab, num_nodes = make_stream()
+        graph = TemporalGraph.from_arrays(src, dst, ts, ef, lab,
+                                          num_nodes=num_nodes)
+        nodes = np.asarray([1, 4, 9])
+        sliced = graph.node_slice(nodes)
+        mask = np.isin(src, nodes) | np.isin(dst, nodes)
+        rebuilt = TemporalGraph.from_arrays(src[mask], dst[mask], ts[mask],
+                                            ef[mask], lab[mask],
+                                            num_nodes=num_nodes)
+        graphs_equal(sliced, rebuilt)
+
+
+class TestSamplingEquivalence:
+    """Samplers answer identically over façade, views and prefix extension."""
+
+    @pytest.mark.parametrize("strategy", ["recent", "uniform", "time_weighted"])
+    def test_sampler_over_view_matches_facade(self, strategy):
+        src, dst, ts, ef, lab, num_nodes = make_stream(seed=9)
+        graph = TemporalGraph.from_arrays(src, dst, ts, ef, lab,
+                                          num_nodes=num_nodes)
+        view = GraphView(graph.store)
+        rng = np.random.default_rng(0)
+        nodes = rng.integers(0, num_nodes, 25)
+        times = rng.uniform(0.0, 80.0, 25)
+        a = make_sampler(strategy, graph, num_neighbors=5, seed=7,
+                         stateless=True).sample_many(nodes, times)
+        b = make_sampler(strategy, view, num_neighbors=5, seed=7,
+                         stateless=True).sample_many(nodes, times)
+        assert np.array_equal(a.neighbors, b.neighbors)
+        assert np.array_equal(a.edge_ids, b.edge_ids)
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_extended_prefix_view_matches_full_build(self):
+        """The serving worker read path: extend_to(n) == graph built from n events."""
+        src, dst, ts, ef, lab, num_nodes = make_stream(seed=13)
+        store = EventStore.from_arrays(src, dst, ts, ef, lab,
+                                       num_nodes=num_nodes)
+        view = GraphView(store, 0, 0)
+        for prefix in (50, 120, 250):
+            view.extend_to(prefix)
+            reference = TemporalGraph.from_arrays(
+                src[:prefix], dst[:prefix], ts[:prefix], ef[:prefix],
+                lab[:prefix], num_nodes=num_nodes)
+            for got, want in zip(view.csr_view(), reference.csr_view()):
+                assert np.array_equal(got, want)
+
+
+class TestCrossProcessAttach:
+    """fork and spawn children attach the mmap store and see identical data."""
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_child_process_sees_identical_graph(self, tmp_path, start_method):
+        if start_method not in mp.get_all_start_methods():
+            pytest.skip(f"{start_method} start method unavailable")
+        src, dst, ts, ef, lab, num_nodes = make_stream(100)
+        store = EventStore.create_mmap(tmp_path / "events",
+                                       num_nodes=num_nodes,
+                                       edge_feature_dim=ef.shape[1])
+        store.append_batch(src, dst, ts, ef, lab)
+        expected_csr = GraphView(store).csr_view()
+
+        ctx = mp.get_context(start_method)
+        result = ctx.Queue()
+        proc = ctx.Process(target=_check_attached_store,
+                           args=(store.handle(), src, dst, ts, ef, lab,
+                                 expected_csr, result))
+        proc.start()
+        try:
+            assert result.get(timeout=60) == "ok"
+        finally:
+            proc.join(timeout=30)
+        assert proc.exitcode == 0
+        store.close()
+
+
+def _check_attached_store(handle, src, dst, ts, ef, lab, expected_csr, result):
+    try:
+        store = handle.open()
+        assert np.array_equal(store.src, src)
+        assert np.array_equal(store.dst, dst)
+        assert np.array_equal(store.timestamps, ts)
+        assert np.array_equal(store.edge_features, ef)
+        assert np.array_equal(store.labels, lab)
+        for got, want in zip(GraphView(store).csr_view(), expected_csr):
+            assert np.array_equal(got, want)
+        store.close()
+        result.put("ok")
+    except Exception as exc:  # pragma: no cover - diagnostic path
+        result.put(f"child failed: {exc!r}")

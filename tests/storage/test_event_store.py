@@ -1,0 +1,188 @@
+"""EventStore: columnar append-only storage, in memory and mmap-backed."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.storage import EventStore
+
+
+def make_events(n, num_nodes=20, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, n)
+    dst = rng.integers(0, num_nodes, n)
+    timestamps = np.sort(rng.uniform(0.0, 100.0, n))
+    edge_features = rng.normal(size=(n, dim))
+    labels = rng.integers(0, 2, n).astype(np.float64)
+    return src, dst, timestamps, edge_features, labels
+
+
+class TestMemoryStore:
+    def test_append_and_read_back(self):
+        src, dst, ts, ef, lab = make_events(50)
+        store = EventStore(20, 4)
+        edge_ids = store.append_batch(src, dst, ts, ef, lab)
+        assert np.array_equal(edge_ids, np.arange(50))
+        assert store.num_events == 50
+        assert np.array_equal(store.src, src)
+        assert np.array_equal(store.dst, dst)
+        assert np.array_equal(store.timestamps, ts)
+        assert np.array_equal(store.edge_features, ef)
+        assert np.array_equal(store.labels, lab)
+        assert store.last_timestamp == ts[-1]
+
+    def test_incremental_appends_grow_capacity(self):
+        src, dst, ts, ef, lab = make_events(500)
+        store = EventStore(20, 4)
+        for start in range(0, 500, 7):
+            stop = min(start + 7, 500)
+            ids = store.append_batch(src[start:stop], dst[start:stop],
+                                     ts[start:stop], ef[start:stop],
+                                     lab[start:stop])
+            assert np.array_equal(ids, np.arange(start, stop))
+        assert np.array_equal(store.timestamps, ts)
+        assert np.array_equal(store.edge_features, ef)
+
+    def test_default_labels_are_zero(self):
+        src, dst, ts, ef, _ = make_events(10)
+        store = EventStore(20, 4)
+        store.append_batch(src, dst, ts, ef)
+        assert np.array_equal(store.labels, np.zeros(10))
+
+    def test_from_arrays(self):
+        src, dst, ts, ef, lab = make_events(30)
+        store = EventStore.from_arrays(src, dst, ts, ef, lab)
+        assert store.num_nodes == int(max(src.max(), dst.max())) + 1
+        assert np.array_equal(store.src, src)
+
+    def test_chronological_order_enforced(self):
+        store = EventStore(5, 0)
+        store.append_batch([0], [1], [5.0], np.zeros((1, 0)))
+        with pytest.raises(ValueError, match="chronological"):
+            store.append_batch([1], [2], [4.0], np.zeros((1, 0)))
+        with pytest.raises(ValueError, match="sorted by timestamp"):
+            store.append_batch([0, 1], [1, 2], [7.0, 6.0], np.zeros((2, 0)))
+
+    def test_node_range_enforced(self):
+        store = EventStore(5, 0)
+        with pytest.raises(IndexError):
+            store.append_batch([0], [5], [0.0], np.zeros((1, 0)))
+        with pytest.raises(IndexError):
+            store.append_batch([-1], [0], [0.0], np.zeros((1, 0)))
+
+    def test_feature_dim_enforced(self):
+        store = EventStore(5, 3)
+        with pytest.raises(ValueError):
+            store.append_batch([0], [1], [0.0], np.zeros((1, 2)))
+
+    def test_zero_feature_dim(self):
+        store = EventStore(5, 0)
+        store.append_batch([0, 1], [1, 2], [0.0, 1.0], np.zeros((2, 0)))
+        assert store.edge_features.shape == (2, 0)
+
+    def test_properties_are_views_not_copies(self):
+        src, dst, ts, ef, lab = make_events(20)
+        store = EventStore(20, 4)
+        store.append_batch(src, dst, ts, ef, lab)
+        assert np.shares_memory(store.src, store.src)
+        a = store.timestamps
+        b = store.timestamps
+        assert np.shares_memory(a, b)
+
+    def test_memory_footprint_positive(self):
+        src, dst, ts, ef, lab = make_events(20)
+        store = EventStore(20, 4)
+        store.append_batch(src, dst, ts, ef, lab)
+        assert store.memory_footprint_bytes() > 0
+
+
+class TestMmapStore:
+    def test_create_append_reopen(self, tmp_path):
+        src, dst, ts, ef, lab = make_events(200)
+        store = EventStore.create_mmap(tmp_path / "events", num_nodes=20,
+                                       edge_feature_dim=4, capacity=16)
+        for start in range(0, 200, 33):
+            stop = min(start + 33, 200)
+            store.append_batch(src[start:stop], dst[start:stop], ts[start:stop],
+                               ef[start:stop], lab[start:stop])
+        store.close()
+
+        reader = EventStore.open_mmap(tmp_path / "events")
+        assert reader.num_events == 200
+        assert np.array_equal(reader.src, src)
+        assert np.array_equal(reader.edge_features, ef)
+        reader.close()
+
+    def test_reader_follows_writer_growth(self, tmp_path):
+        src, dst, ts, ef, lab = make_events(100)
+        writer = EventStore.create_mmap(tmp_path / "events", num_nodes=20,
+                                        edge_feature_dim=4, capacity=8)
+        writer.append_batch(src[:10], dst[:10], ts[:10], ef[:10], lab[:10])
+        reader = EventStore.open_mmap(tmp_path / "events")
+        assert reader.num_events == 10
+
+        # Writer grows past the reader's mapped capacity; refresh follows.
+        writer.append_batch(src[10:], dst[10:], ts[10:], ef[10:], lab[10:])
+        reader.ensure_visible(100)
+        assert reader.num_events == 100
+        assert np.array_equal(reader.timestamps, ts)
+        writer.close()
+        reader.close()
+
+    def test_ensure_visible_raises_when_unpublished(self, tmp_path):
+        writer = EventStore.create_mmap(tmp_path / "events", num_nodes=5,
+                                        edge_feature_dim=0)
+        reader = EventStore.open_mmap(tmp_path / "events")
+        with pytest.raises(RuntimeError, match="events"):
+            reader.ensure_visible(1)
+        writer.close()
+        reader.close()
+
+    def test_save_roundtrip_from_memory(self, tmp_path):
+        src, dst, ts, ef, lab = make_events(40)
+        store = EventStore(20, 4)
+        store.append_batch(src, dst, ts, ef, lab)
+        store.save(tmp_path / "saved")
+
+        loaded = EventStore.open_mmap(tmp_path / "saved")
+        assert loaded.num_events == 40
+        assert np.array_equal(loaded.src, src)
+        assert np.array_equal(loaded.edge_features, ef)
+        assert np.array_equal(loaded.labels, lab)
+        loaded.close()
+
+    def test_handle_is_picklable_attach_recipe(self, tmp_path):
+        src, dst, ts, ef, lab = make_events(25)
+        store = EventStore.create_mmap(tmp_path / "events", num_nodes=20,
+                                       edge_feature_dim=4)
+        store.append_batch(src, dst, ts, ef, lab)
+        handle = pickle.loads(pickle.dumps(store.handle()))
+        attached = handle.open()
+        assert np.array_equal(attached.src, src)
+        attached.close()
+        store.close()
+
+    def test_memory_store_has_no_handle(self):
+        store = EventStore(5, 0)
+        with pytest.raises(RuntimeError, match="mmap"):
+            store.handle()
+
+    def test_read_only_attach_rejects_appends(self, tmp_path):
+        writer = EventStore.create_mmap(tmp_path / "events", num_nodes=5,
+                                        edge_feature_dim=0)
+        writer.append_batch([0], [1], [0.0], np.zeros((1, 0)))
+        reader = EventStore.open_mmap(tmp_path / "events", mode="r")
+        with pytest.raises((RuntimeError, ValueError)):
+            reader.append_batch([1], [2], [1.0], np.zeros((1, 0)))
+        writer.close()
+        reader.close()
+
+    def test_zero_feature_dim_mmap(self, tmp_path):
+        store = EventStore.create_mmap(tmp_path / "events", num_nodes=5,
+                                       edge_feature_dim=0)
+        store.append_batch([0, 1], [1, 2], [0.0, 1.0], np.zeros((2, 0)))
+        store.close()
+        reader = EventStore.open_mmap(tmp_path / "events")
+        assert reader.edge_features.shape == (2, 0)
+        reader.close()

@@ -1,0 +1,83 @@
+"""ShardMap: deterministic hash partitioning of the node id space."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.storage import ShardMap
+
+
+class TestPartitioning:
+    def test_every_node_in_exactly_one_shard(self):
+        shard_map = ShardMap(1000, num_shards=7)
+        shards = shard_map.shard_of(np.arange(1000))
+        assert shards.min() >= 0 and shards.max() < 7
+        total = sum(len(shard_map.nodes_of(s)) for s in range(7))
+        assert total == 1000
+        assert sum(shard_map.shard_sizes) == 1000
+
+    def test_nodes_of_matches_shard_of(self):
+        shard_map = ShardMap(500, num_shards=4)
+        for shard in range(4):
+            members = shard_map.nodes_of(shard)
+            assert np.all(shard_map.shard_of(members) == shard)
+            assert shard_map.shard_size(shard) == len(members)
+
+    def test_local_ids_are_dense_and_invertible(self):
+        shard_map = ShardMap(300, num_shards=5)
+        for shard in range(5):
+            members = shard_map.nodes_of(shard)
+            local = shard_map.local_of(members)
+            # Dense 0..size-1, in ascending global-id order.
+            assert np.array_equal(np.sort(local), np.arange(len(members)))
+            assert np.array_equal(local, np.arange(len(members)))
+
+    def test_mask(self):
+        shard_map = ShardMap(100, num_shards=3)
+        combined = np.zeros(100, dtype=int)
+        for shard in range(3):
+            mask = shard_map.mask(shard)
+            assert mask.dtype == bool and len(mask) == 100
+            assert np.array_equal(np.where(mask)[0], shard_map.nodes_of(shard))
+            combined += mask
+        assert np.all(combined == 1)
+
+    def test_balance_is_roughly_uniform(self):
+        shard_map = ShardMap(100_000, num_shards=8)
+        sizes = shard_map.shard_sizes
+        assert sizes.min() > 0.8 * 100_000 / 8
+        assert sizes.max() < 1.2 * 100_000 / 8
+
+
+class TestDeterminism:
+    def test_same_seed_same_assignment(self):
+        a = ShardMap(1000, 4, seed=42)
+        b = ShardMap(1000, 4, seed=42)
+        assert np.array_equal(a.shard_of(np.arange(1000)),
+                              b.shard_of(np.arange(1000)))
+
+    def test_different_seed_different_assignment(self):
+        a = ShardMap(1000, 4, seed=0)
+        b = ShardMap(1000, 4, seed=1)
+        assert not np.array_equal(a.shard_of(np.arange(1000)),
+                                  b.shard_of(np.arange(1000)))
+
+    def test_pickle_roundtrip_preserves_assignment(self):
+        shard_map = ShardMap(500, 6, seed=3)
+        before = shard_map.shard_of(np.arange(500))
+        clone = pickle.loads(pickle.dumps(shard_map))
+        assert np.array_equal(clone.shard_of(np.arange(500)), before)
+        assert np.array_equal(clone.local_of(np.arange(500)),
+                              shard_map.local_of(np.arange(500)))
+
+    def test_single_shard_degenerate(self):
+        shard_map = ShardMap(50, 1)
+        assert np.all(shard_map.shard_of(np.arange(50)) == 0)
+        assert np.array_equal(shard_map.local_of(np.arange(50)), np.arange(50))
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises((ValueError, Exception)):
+            ShardMap(10, 0)

@@ -1,0 +1,171 @@
+"""ShardedMailbox: per-shard mailbox segments behind the flat interface."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.mailbox import Mailbox
+from repro.storage import ShardMap, ShardedMailbox
+
+NUM_NODES = 40
+NUM_SLOTS = 3
+MAIL_DIM = 5
+
+
+def random_deliveries(rng, rounds=10, batch=12):
+    for _ in range(rounds):
+        nodes = rng.integers(0, NUM_NODES, batch)
+        mails = rng.normal(size=(batch, MAIL_DIM))
+        times = np.sort(rng.uniform(0.0, 100.0, batch))
+        yield nodes, mails, times
+
+
+@pytest.mark.parametrize("policy", ["fifo", "newest_overwrite"])
+def test_bit_equal_to_flat_mailbox(policy):
+    rng = np.random.default_rng(0)
+    shard_map = ShardMap(NUM_NODES, num_shards=4)
+    flat = Mailbox(NUM_NODES, NUM_SLOTS, MAIL_DIM, update_policy=policy)
+    sharded = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM, update_policy=policy)
+    for nodes, mails, times in random_deliveries(rng):
+        flat.deliver(nodes, mails, times)
+        sharded.deliver(nodes, mails, times)
+    assert np.array_equal(sharded.mails, flat.mails)
+    assert np.array_equal(sharded.mail_times, flat.mail_times)
+    assert np.array_equal(sharded.valid, flat.valid)
+    assert np.array_equal(sharded._next_slot, flat._next_slot)
+    assert np.array_equal(sharded._delivered, flat._delivered)
+
+
+def test_read_matches_flat_mailbox():
+    rng = np.random.default_rng(1)
+    shard_map = ShardMap(NUM_NODES, num_shards=3)
+    flat = Mailbox(NUM_NODES, NUM_SLOTS, MAIL_DIM)
+    sharded = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM)
+    for nodes, mails, times in random_deliveries(rng):
+        flat.deliver(nodes, mails, times)
+        sharded.deliver(nodes, mails, times)
+    query = rng.integers(0, NUM_NODES, 15)
+    for sort in (True, False):
+        got = sharded.read(query, sort_by_time=sort)
+        want = flat.read(query, sort_by_time=sort)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+
+def test_gather_many_matches_flat_mailbox():
+    rng = np.random.default_rng(2)
+    shard_map = ShardMap(NUM_NODES, num_shards=5)
+    flat = Mailbox(NUM_NODES, NUM_SLOTS, MAIL_DIM)
+    sharded = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM)
+    for nodes, mails, times in random_deliveries(rng):
+        flat.deliver(nodes, mails, times)
+        sharded.deliver(nodes, mails, times)
+    groups = (rng.integers(0, NUM_NODES, 8), rng.integers(0, NUM_NODES, 6))
+    got = sharded.gather_many(*groups)
+    want = flat.gather_many(*groups)
+    assert np.array_equal(got.nodes, want.nodes)
+    assert np.array_equal(got.inverse, want.inverse)
+    assert np.array_equal(got.mails, want.mails)
+    assert np.array_equal(got.valid, want.valid)
+
+
+def test_occupancy_and_reset():
+    rng = np.random.default_rng(3)
+    shard_map = ShardMap(NUM_NODES, num_shards=4)
+    flat = Mailbox(NUM_NODES, NUM_SLOTS, MAIL_DIM)
+    sharded = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM)
+    for nodes, mails, times in random_deliveries(rng, rounds=3):
+        flat.deliver(nodes, mails, times)
+        sharded.deliver(nodes, mails, times)
+    assert np.array_equal(sharded.occupancy(), flat.occupancy())
+    sharded.reset()
+    assert sharded.occupancy().sum() == 0
+
+
+def test_validation_matches_flat_contract():
+    shard_map = ShardMap(NUM_NODES, num_shards=2)
+    sharded = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM)
+    with pytest.raises(IndexError):
+        sharded.deliver(np.asarray([NUM_NODES]), np.zeros((1, MAIL_DIM)),
+                        np.zeros(1))
+    with pytest.raises(ValueError):
+        sharded.deliver(np.asarray([0]), np.zeros((1, MAIL_DIM + 1)), np.zeros(1))
+
+
+def test_shard_box_accessors():
+    shard_map = ShardMap(NUM_NODES, num_shards=3)
+    sharded = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM)
+    assert sharded.attached_shards == [0, 1, 2]
+    assert sharded.shard_box(0) is not None
+    assert sharded.memory_footprint_bytes() > 0
+
+
+class TestSharedMemory:
+    def test_share_attach_subset_release(self):
+        rng = np.random.default_rng(4)
+        shard_map = ShardMap(NUM_NODES, num_shards=4)
+        owner = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM)
+        deliveries = list(random_deliveries(rng, rounds=4))
+        for nodes, mails, times in deliveries:
+            owner.deliver(nodes, mails, times)
+        state_before = owner.mails.copy()
+
+        handle = owner.share_memory()
+        assert owner.is_shared
+        try:
+            attached = ShardedMailbox.attach(handle, shards=[2])
+            assert attached.attached_shards == [2]
+            with pytest.raises(RuntimeError, match="not attached"):
+                attached.shard_box(0)
+            members = shard_map.nodes_of(2)
+            # The attached shard sees the owner's state through shared pages.
+            assert np.array_equal(attached.shard_box(2).mails[:len(members)],
+                                  state_before[members])
+            attached.release_shared()
+        finally:
+            owner.release_shared()
+        assert not owner.is_shared
+        assert np.array_equal(owner.mails, state_before)
+
+    def test_double_share_raises(self):
+        shard_map = ShardMap(NUM_NODES, num_shards=2)
+        owner = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM)
+        owner.share_memory()
+        try:
+            with pytest.raises(RuntimeError, match="already"):
+                owner.share_memory()
+        finally:
+            owner.release_shared()
+
+    def test_cross_process_shard_delivery(self):
+        """A forked child delivering into one shard is visible to the owner."""
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        shard_map = ShardMap(NUM_NODES, num_shards=2)
+        owner = ShardedMailbox(shard_map, NUM_SLOTS, MAIL_DIM)
+        handle = owner.share_memory()
+        try:
+            target_shard = 1
+            node = int(shard_map.nodes_of(target_shard)[0])
+            ctx = mp.get_context("fork")
+            proc = ctx.Process(target=_deliver_in_child,
+                               args=(handle, target_shard, node))
+            proc.start()
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+            assert owner.occupancy(np.asarray([node]))[0] == 1
+            mails, _, valid = owner.read(np.asarray([node]))
+            assert valid[0].sum() == 1
+            assert np.allclose(mails[0][valid[0]][0], 7.0)
+        finally:
+            owner.release_shared()
+
+
+def _deliver_in_child(handle, shard, node):
+    attached = ShardedMailbox.attach(handle, shards=[shard])
+    try:
+        attached.deliver(np.asarray([node]),
+                         np.full((1, MAIL_DIM), 7.0), np.asarray([1.0]))
+    finally:
+        attached.release_shared()
