@@ -1,6 +1,7 @@
 PYTHON ?= python
 
-.PHONY: test test-fast equivalence bench bench-serving bench-storage docs-check
+.PHONY: test test-fast equivalence bench bench-serving bench-storage \
+	bench-obs trace docs-check
 
 ## Tier-1: the full suite (unit tests + paper benchmarks), as CI runs it.
 test:
@@ -36,6 +37,17 @@ bench-serving:
 ## STORAGE_BENCH_EVENTS / STORAGE_BENCH_NODES / STORAGE_BENCH_RSS_MB scale it.
 bench-storage:
 	$(PYTHON) -m pytest -q benchmarks/test_storage_scale.py -s
+
+## Measure telemetry overhead (instrumented vs. null-sink serving walls,
+## min paired ratio over OBS_BENCH_REPS reps); write BENCH_obs.json and
+## TRACE_serving.json and assert overhead < OBS_BENCH_MAX_OVERHEAD_PCT (5%).
+bench-obs:
+	$(PYTHON) -m pytest -q benchmarks/test_obs_overhead.py -s
+
+## Run a telemetry-enabled serving workload and export trace.json — open it
+## in chrome://tracing or https://ui.perfetto.dev to see every pipeline span.
+trace:
+	PYTHONPATH=src $(PYTHON) examples/trace_serving.py
 
 ## Verify every file path referenced by README.md / docs/ resolves.
 docs-check:

@@ -9,9 +9,13 @@ asserted and what EXPERIMENTS.md records against the paper's numbers.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
+
+from repro.obs import run_metadata
 
 from repro.baselines import (
     CTDNE,
@@ -147,3 +151,17 @@ def static_node_classification_auc(model, dataset: TemporalDataset) -> float:
 def percent(value: float) -> float:
     """Convert a [0, 1] metric to the percentage form the paper's tables use."""
     return 100.0 * value
+
+
+def write_bench_record(path: str | Path, record: dict) -> Path:
+    """Write a BENCH_*.json result, stamped with run provenance.
+
+    Every benchmark result ships with ``record["provenance"]`` (git sha +
+    dirty flag, UTC timestamp, hostname, interpreter and NumPy versions) so
+    two BENCH files are always comparable: same commit, or knowably not.
+    """
+    record = dict(record)
+    record["provenance"] = run_metadata()
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

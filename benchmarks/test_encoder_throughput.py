@@ -15,7 +15,6 @@ repo root so the perf trajectory is recorded alongside the code (see
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -25,6 +24,8 @@ import pytest
 from repro.core.encoder import APANEncoder
 from repro.core.mailbox import Mailbox
 from repro.nn.tensor import Tensor, no_grad
+
+from .harness import write_bench_record
 
 NUM_ENCODES = 10_000
 NUM_NODES = 2_000
@@ -94,7 +95,7 @@ def test_encoder_throughput(throughput):
         "speedup": round(speedup, 2),
         "min_speedup_asserted": MIN_SPEEDUP,
     }
-    _RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(_RESULT_PATH, record)
     print(f"\nreference:  {reference:10,.0f} encodes/s")
     print(f"vectorized: {vectorized:10,.0f} encodes/s  ({speedup:.1f}x)")
     assert speedup >= MIN_SPEEDUP, (

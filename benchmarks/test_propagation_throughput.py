@@ -12,7 +12,6 @@ recorded alongside the code (see ``make bench``).
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -22,6 +21,8 @@ import pytest
 from repro.core.mailbox import Mailbox
 from repro.core.propagator import MailPropagator
 from repro.graph.batching import EventBatch
+
+from .harness import write_bench_record
 
 NUM_EVENTS = 10_000
 NUM_NODES = 2_000
@@ -89,7 +90,7 @@ def test_propagation_throughput(throughput):
         "speedup": round(speedup, 2),
         "min_speedup_asserted": MIN_SPEEDUP,
     }
-    _RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(_RESULT_PATH, record)
     print(f"\nreference:  {reference:10,.0f} events/s")
     print(f"vectorized: {vectorized:10,.0f} events/s  ({speedup:.1f}x)")
     assert speedup >= MIN_SPEEDUP, (

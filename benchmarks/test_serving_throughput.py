@@ -18,7 +18,6 @@ the repo root so the perf trajectory is recorded alongside the code (see
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -28,6 +27,8 @@ import pytest
 from repro.core import APAN, APANConfig
 from repro.datasets import bipartite_interaction_dataset
 from repro.serving import DeploymentSimulator, RuntimeConfig, StorageLatencyModel
+
+from .harness import write_bench_record
 
 NUM_EVENTS = int(os.environ.get("SERVING_BENCH_EVENTS", "10000"))
 BATCH_SIZE = 100
@@ -91,7 +92,7 @@ def test_async_runtime_beats_synchronous_p99(reports):
         },
         "p99_speedup": round(sync.p99_decision_ms / real.p99_decision_ms, 2),
     }
-    _RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(_RESULT_PATH, record)
     print(f"\nsynchronous:  p50={sync.p50_decision_ms:6.2f}  "
           f"p99={sync.p99_decision_ms:6.2f} ms")
     print(f"async (real): p50={real.p50_decision_ms:6.2f}  "

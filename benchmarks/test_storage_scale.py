@@ -18,7 +18,6 @@ Environment knobs::
 
 from __future__ import annotations
 
-import json
 import multiprocessing as mp
 import os
 import resource
@@ -27,6 +26,8 @@ import time
 from pathlib import Path
 
 import numpy as np
+
+from .harness import write_bench_record
 
 NUM_EVENTS = int(os.environ.get("STORAGE_BENCH_EVENTS", 10_000_000))
 NUM_NODES = int(os.environ.get("STORAGE_BENCH_NODES", 1_000_000))
@@ -138,7 +139,7 @@ def test_storage_scale():
         "shard_csr_mb": round(metrics["shard_csr_mb"], 1),
         "store_disk_mb": round(metrics["store_disk_mb"], 1),
     }
-    _RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench_record(_RESULT_PATH, record)
     print(f"\nappend: {record['append_events_per_sec']:12,.0f} events/s "
           f"({record['append_elapsed_s']}s for {NUM_EVENTS:,})")
     print(f"slice:  {record['slice_ops_per_sec']:12,.0f} ops/s")

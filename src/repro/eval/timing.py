@@ -25,6 +25,7 @@ from ..graph.temporal_graph import TemporalGraph
 from ..nn import functional as F
 from ..nn.optim import Adam
 from ..nn.tensor import no_grad
+from ..obs import summarize
 from .negative_sampling import TimeAwareNegativeSampler
 
 __all__ = ["LatencyResult", "measure_inference_latency", "measure_training_time"]
@@ -39,12 +40,14 @@ class LatencyResult:
     p95_ms: float
     num_batches: int
     batch_size: int
+    p99_ms: float = 0.0
 
     def as_dict(self) -> dict:
         return {
             "mean_ms": self.mean_ms,
             "median_ms": self.median_ms,
             "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
             "num_batches": self.num_batches,
             "batch_size": self.batch_size,
         }
@@ -81,11 +84,13 @@ def measure_inference_latency(model: TemporalEmbeddingModel, graph: TemporalGrap
     if not durations:
         raise ValueError("no batches were measured")
     values = np.asarray(durations) * 1000.0
+    summary = summarize(values)
     return LatencyResult(
-        mean_ms=float(values.mean()),
-        median_ms=float(np.median(values)),
-        p95_ms=float(np.percentile(values, 95)),
-        num_batches=len(values),
+        mean_ms=summary.mean,
+        median_ms=summary.p50,
+        p95_ms=summary.p95,
+        p99_ms=summary.p99,
+        num_batches=summary.count,
         batch_size=batch_size,
     )
 

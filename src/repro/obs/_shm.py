@@ -1,0 +1,140 @@
+"""Named bundles of NumPy arrays in ``multiprocessing.shared_memory``.
+
+This is the same share/attach/release idiom as
+:meth:`repro.core.mailbox.Mailbox.share_memory`, factored into a reusable
+primitive for telemetry state (``repro.obs`` must not import ``repro.core`` —
+observability sits below every other subsystem).  One process *creates* the
+bundle (and owns the segments: its release unlinks them), any number of
+processes *attach* to the same physical pages through a picklable handle.
+
+The owner-side lifecycle is leak-proof by construction: a partial failure
+during ``create`` unwinds the segments already allocated, ``release`` copies
+the data back into private memory before unlinking (so the arrays stay
+readable after the shared segments are gone), and a ``weakref.finalize``
+safety net unlinks anything the owner never released — the same guarantees
+the PR 7 ``/dev/shm`` leak regression suite pins for the mailbox.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["BundleHandle", "SharedArrayBundle"]
+
+
+@dataclass(frozen=True)
+class BundleHandle:
+    """Picklable attach recipe: array name -> (segment name, shape, dtype str)."""
+
+    segments: dict = field(default_factory=dict)
+
+
+def _open_existing_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without registering it for resource-tracker cleanup.
+
+    Same workaround as :func:`repro.core.mailbox._open_shared_segment`: before
+    Python 3.13 every ``SharedMemory`` constructor registers with the
+    ``resource_tracker``, which would let an attaching worker's exit unlink
+    the owner's live segments.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _unlink_leaked_segments(segments: dict) -> None:
+    for segment in segments.values():
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+class SharedArrayBundle:
+    """A dict of named NumPy arrays living in shared-memory segments."""
+
+    def __init__(self):
+        self.arrays: dict[str, np.ndarray] = {}
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._attached = False
+        self._finalizer = None
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, specs: dict[str, tuple[tuple[int, ...], object]]) -> "SharedArrayBundle":
+        """Allocate one zero-initialised shared array per ``specs`` entry."""
+        bundle = cls()
+        try:
+            for name, (shape, dtype) in specs.items():
+                nbytes = max(int(np.prod(shape)) * np.dtype(dtype).itemsize, 1)
+                # Fresh segments are kernel-zero-filled (tmpfs), so no
+                # explicit zeroing: creating a multi-MB trace ring costs no
+                # page touches until it is actually written.
+                segment = shared_memory.SharedMemory(create=True, size=nbytes)
+                bundle._segments[name] = segment
+                bundle.arrays[name] = np.ndarray(shape, dtype=dtype,
+                                                 buffer=segment.buf)
+        except Exception:
+            # Never leak the segments already allocated (e.g. shm exhaustion
+            # halfway through): drop the views, then close + unlink.
+            bundle.arrays.clear()
+            for segment in bundle._segments.values():
+                segment.close()
+                segment.unlink()
+            raise
+        bundle._finalizer = weakref.finalize(
+            bundle, _unlink_leaked_segments, bundle._segments)
+        return bundle
+
+    @classmethod
+    def attach(cls, handle: BundleHandle) -> "SharedArrayBundle":
+        """Map an existing bundle (non-owning: release only unmaps)."""
+        bundle = cls()
+        bundle._attached = True
+        for name, (segment_name, shape, dtype_str) in handle.segments.items():
+            segment = _open_existing_segment(segment_name)
+            bundle._segments[name] = segment
+            bundle.arrays[name] = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype_str), buffer=segment.buf)
+        return bundle
+
+    def handle(self) -> BundleHandle:
+        if not self._segments:
+            raise RuntimeError("bundle is not shared (already released?)")
+        return BundleHandle(segments={
+            name: (self._segments[name].name, tuple(array.shape), array.dtype.str)
+            for name, array in self.arrays.items()
+        })
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_shared(self) -> bool:
+        return bool(self._segments)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def release(self) -> None:
+        """Detach; the owner also unlinks.  Arrays stay readable (private copy)."""
+        if not self._segments:
+            return
+        for name, segment in self._segments.items():
+            self.arrays[name] = np.array(self.arrays[name])
+            segment.close()
+            if not self._attached:
+                segment.unlink()
+        self._segments = {}
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None

@@ -1,0 +1,57 @@
+"""Run provenance: which code, machine and interpreter produced a result.
+
+Benchmark JSON without provenance is unfalsifiable — a BENCH_*.json from last
+month can't be compared against today's unless it records the commit and the
+environment it ran under.  :func:`run_metadata` captures the minimum viable
+stamp (git sha + dirty flag, ISO timestamp, hostname, interpreter and NumPy
+versions, platform) with "unknown" fallbacks so it never fails a run, and
+``benchmarks/harness.py`` injects it into every benchmark record it writes.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["run_metadata"]
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _git(*args: str) -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", *args], cwd=_REPO_ROOT, capture_output=True, text=True,
+            timeout=5.0, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def run_metadata() -> dict:
+    """Provenance stamp for benchmark/eval artifacts.  Never raises."""
+    sha = _git("rev-parse", "HEAD") or "unknown"
+    status = _git("status", "--porcelain")
+    try:
+        hostname = socket.gethostname()
+    except OSError:
+        hostname = "unknown"
+    return {
+        "git_sha": sha,
+        "git_dirty": bool(status) if status is not None else None,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+                     .isoformat(timespec="seconds"),
+        "hostname": hostname,
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "platform": platform.platform(),
+        "executable": sys.executable,
+    }

@@ -1,0 +1,129 @@
+"""The one percentile/aggregation implementation the whole repo routes through.
+
+Before this module, p50/p95/p99 were computed independently in
+``serving/service.py``, ``eval/timing.py``, the serving runtime's lag
+aggregation and the benchmark writers.  :func:`summarize` is the single exact
+implementation (NumPy linear-interpolation percentiles, bit-identical to the
+``np.percentile``/``np.median`` calls it replaced — pinned by a regression
+test); :meth:`HistogramSummary.from_buckets` is the *approximate* counterpart
+used when only shared-memory histogram buckets are available (cross-process
+metrics, where raw samples never leave the worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HistogramSummary", "percentiles", "summarize"]
+
+
+def percentiles(values, qs=(50.0, 95.0, 99.0)) -> tuple[float, ...]:
+    """Exact percentiles of ``values`` (NumPy linear interpolation).
+
+    Returns one float per entry of ``qs``; all zeros for empty input.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if len(values) == 0:
+        return tuple(0.0 for _ in qs)
+    return tuple(float(np.percentile(values, q)) for q in qs)
+
+
+@dataclass
+class HistogramSummary:
+    """Order statistics of one latency/size distribution.
+
+    Produced exactly by :func:`summarize` (from raw samples) or approximately
+    by :meth:`from_buckets` (from shared-memory histogram buckets, where the
+    quantiles are linear interpolations within the matching bucket, clamped
+    to the observed ``[min, max]``).
+    """
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+    def as_dict(self, round_to: int | None = None) -> dict:
+        out = {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.min,
+            "max": self.max,
+        }
+        if round_to is not None:
+            out = {key: round(value, round_to) if isinstance(value, float) else value
+                   for key, value in out.items()}
+        return out
+
+    @classmethod
+    def empty(cls) -> "HistogramSummary":
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, min=0.0, max=0.0)
+
+    @classmethod
+    def from_buckets(cls, bounds, counts, total_sum: float,
+                     value_min: float, value_max: float) -> "HistogramSummary":
+        """Approximate summary from bucket counts (see class docstring).
+
+        ``bounds`` are the upper edges of the first ``len(bounds)`` buckets;
+        ``counts`` has one extra trailing overflow bucket for values above
+        the last bound.
+        """
+        bounds = np.asarray(bounds, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.float64).reshape(-1)
+        if len(counts) != len(bounds) + 1:
+            raise ValueError("counts must have one overflow bucket past bounds")
+        total = float(counts.sum())
+        if total <= 0:
+            return cls.empty()
+        cumulative = np.cumsum(counts)
+
+        def estimate(q: float) -> float:
+            target = q / 100.0 * total
+            bucket = int(np.searchsorted(cumulative, target, side="left"))
+            lower = 0.0 if bucket == 0 else float(bounds[bucket - 1])
+            upper = float(bounds[bucket]) if bucket < len(bounds) else value_max
+            below = 0.0 if bucket == 0 else float(cumulative[bucket - 1])
+            inside = float(counts[bucket])
+            fraction = (target - below) / inside if inside > 0 else 0.0
+            value = lower + fraction * (upper - lower)
+            return float(min(max(value, value_min), value_max))
+
+        return cls(
+            count=int(total),
+            mean=float(total_sum / total),
+            p50=estimate(50.0),
+            p95=estimate(95.0),
+            p99=estimate(99.0),
+            min=float(value_min),
+            max=float(value_max),
+        )
+
+
+def summarize(values) -> HistogramSummary:
+    """Exact :class:`HistogramSummary` of raw samples.
+
+    ``p50`` equals ``np.median``; ``p95``/``p99`` equal
+    ``np.percentile(values, 95/99)`` — the exact expressions this helper
+    replaced at its call sites, so routing through it changes no output.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if len(values) == 0:
+        return HistogramSummary.empty()
+    p50, p95, p99 = percentiles(values)
+    return HistogramSummary(
+        count=len(values),
+        mean=float(values.mean()),
+        p50=p50,
+        p95=p95,
+        p99=p99,
+        min=float(values.min()),
+        max=float(values.max()),
+    )

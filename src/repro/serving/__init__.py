@@ -2,7 +2,14 @@
 
 from .latency import StorageLatencyModel
 from .queue import AsyncTask, AsyncWorkQueue
-from .runtime import PropagatorSpec, RuntimeConfig, ServingRuntime, StalenessSnapshot
+from .runtime import (
+    PropagatorSpec,
+    RuntimeConfig,
+    RuntimeTelemetrySnapshot,
+    ServingRuntime,
+    StalenessSnapshot,
+    serving_telemetry_spec,
+)
 from .service import SERVING_MODES, DeploymentSimulator, ServingReport
 
 __all__ = [
@@ -11,8 +18,10 @@ __all__ = [
     "AsyncWorkQueue",
     "PropagatorSpec",
     "RuntimeConfig",
+    "RuntimeTelemetrySnapshot",
     "ServingRuntime",
     "StalenessSnapshot",
+    "serving_telemetry_spec",
     "DeploymentSimulator",
     "ServingReport",
     "SERVING_MODES",

@@ -92,6 +92,7 @@ import numpy as np
 from ..core.mailbox import Mailbox, SharedMailboxHandle
 from ..core.propagator import MailPropagator
 from ..graph.batching import EventBatch
+from ..obs import NULL_TELEMETRY, Telemetry, TelemetrySpec
 from ..storage.event_store import EventStore, EventStoreHandle
 from ..storage.graph_view import GraphView
 from ..storage.sharded_mailbox import ShardedMailbox, ShardedMailboxHandle
@@ -100,8 +101,36 @@ __all__ = [
     "RuntimeConfig",
     "PropagatorSpec",
     "StalenessSnapshot",
+    "RuntimeTelemetrySnapshot",
     "ServingRuntime",
 ]
+
+# Every stage of the serving pipeline, by span name.  Scorer-side spans are
+# recorded by writer 0, worker-side spans by writers 1..num_workers;
+# ``queue.ride`` spans start on the scorer's clock (stamped at submit) and
+# end on the worker's (observed at dequeue) — CLOCK_MONOTONIC is system-wide
+# on Linux, so the two line up on one trace timeline.
+SERVING_SPANS = (
+    "scorer.decision",   # score + mailbox read + z update (critical path)
+    "scorer.encode",     # embedding computation feeding the decision
+    "scorer.submit",     # store append + enqueue (+ backpressure wait)
+    "queue.ride",        # submit → dequeue, per task
+    "worker.propagate",  # φ + k-hop routing + ρ (the heavy, concurrent half)
+    "worker.apply",      # ψ delivery into the shared mailbox (+ order wait)
+    "store.append",      # EventStore.append_batch
+    "store.refresh",     # EventStore.refresh / remap
+)
+
+
+def serving_telemetry_spec(trace_capacity: int = 32768) -> TelemetrySpec:
+    """The telemetry layout of a serving run (spans above + pool metrics)."""
+    return TelemetrySpec(
+        spans=SERVING_SPANS,
+        counters=("events.submitted", "batches.submitted",
+                  "batches.delivered", "mails.delivered"),
+        gauges=("backlog", "watermark"),
+        trace_capacity=trace_capacity,
+    )
 
 
 @dataclass
@@ -127,12 +156,19 @@ class RuntimeConfig:
     submit_timeout_s: float = 120.0
     drain_timeout_s: float = 300.0
     store_dir: str | None = None
+    # Cross-process telemetry (shared-memory metrics + trace rings).  Off by
+    # default: the instrumented call sites then hit the NULL_TELEMETRY no-op
+    # sink, whose spans cost roughly one attribute access.
+    telemetry: bool = False
+    trace_capacity: int = 32768
 
     def validate(self) -> "RuntimeConfig":
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if self.max_backlog <= 0:
             raise ValueError("max_backlog must be positive")
+        if self.trace_capacity <= 0:
+            raise ValueError("trace_capacity must be positive")
         if self.worker_nice < 0:
             raise ValueError("worker_nice must be >= 0 (workers never outrank the scorer)")
         if self.start_method is not None and \
@@ -209,6 +245,29 @@ class StalenessSnapshot:
 
 
 @dataclass
+class RuntimeTelemetrySnapshot:
+    """Live view of the worker pool, readable mid-run without pickling.
+
+    Everything here comes from shared memory the workers publish into as
+    they go: current ``backlog``, global and per-worker delivery progress,
+    the event-time ``watermark`` each worker has reached, and each worker's
+    mean submit→delivery lag so far.  ``metrics`` carries the aggregated
+    counter/gauge/histogram snapshot when telemetry is enabled (empty dicts
+    otherwise — the shared-array fields work either way).
+    """
+
+    backlog: int
+    submitted: int
+    delivered: int
+    watermark: float
+    staleness_ms: float
+    per_worker_delivered: list
+    per_worker_watermark: list
+    per_worker_mean_lag_ms: list
+    metrics: dict = field(default_factory=dict)
+
+
+@dataclass
 class _Task:
     """One unit of propagation work.
 
@@ -237,6 +296,7 @@ class _WorkerSetup:
     store_handle: EventStoreHandle
     spec: PropagatorSpec
     nice_increment: int
+    telemetry_handle: object = None  # TelemetryHandle | None
 
 
 _SENTINEL = None
@@ -254,14 +314,14 @@ def _batch_from_store(store: EventStore, start_row: int, stop_row: int) -> Event
     )
 
 
-def _worker_main(setup: _WorkerSetup, task_queue, delivered, watermark,
-                 lag_sum, submitted, cond, ready) -> None:
+def _worker_main(setup: _WorkerSetup, task_queue, delivered, completed,
+                 watermark, lag_sum, submitted, cond, ready) -> None:
     """Propagation worker: route concurrently against the shared store.
 
-    Runs in a child process.  ``delivered``/``watermark``/``lag_sum`` are
-    per-worker slots of shared arrays guarded by ``cond``; ``submitted`` is
-    written by the parent (under ``cond``) and read here only while draining
-    after SIGTERM.
+    Runs in a child process.  ``delivered``/``completed``/``watermark``/
+    ``lag_sum`` are per-worker slots of shared arrays guarded by ``cond``;
+    ``submitted`` is written by the parent (under ``cond``) and read here
+    only while draining after SIGTERM.
     """
     if setup.nice_increment:
         try:
@@ -276,6 +336,10 @@ def _worker_main(setup: _WorkerSetup, task_queue, delivered, watermark,
         mailbox = Mailbox.attach(setup.mailbox_handle)
         shard_map = None
     store = setup.store_handle.open()
+    # Writer slot 0 belongs to the scorer; workers publish as 1..num_workers.
+    telemetry = NULL_TELEMETRY if setup.telemetry_handle is None \
+        else Telemetry.attach(setup.telemetry_handle, writer=worker_id + 1)
+    store.telemetry = telemetry
     # The view exposes exactly the store prefix routing is allowed to see;
     # it starts empty and is advanced per task to the rows before the batch.
     view = GraphView(store, start=0, stop=0)
@@ -313,6 +377,8 @@ def _worker_main(setup: _WorkerSetup, task_queue, delivered, watermark,
             if task is _SENTINEL:
                 break
             tasks_seen += 1
+            telemetry.record_span("queue.ride", task.submitted_wall,
+                                  time.monotonic(), arg=task.seq)
 
             # Make the batch's rows visible (remaps if the writer grew the
             # files), then advance the routing view to strictly-older events
@@ -325,18 +391,24 @@ def _worker_main(setup: _WorkerSetup, task_queue, delivered, watermark,
 
             # Heavy half, concurrent: φ + k-hop routing + ρ against the
             # shared store prefix [0, start_row).
-            nodes, mails, times, _ = propagator.route_and_reduce(
-                batch, task.src_embeddings, task.dst_embeddings
-            )
+            with telemetry.span("worker.propagate",
+                                arg=task.stop_row - task.start_row):
+                nodes, mails, times, _ = propagator.route_and_reduce(
+                    batch, task.src_embeddings, task.dst_embeddings
+                )
+            apply_span = telemetry.span("worker.apply", arg=task.seq)
             if setup.sharded:
                 # Shard-local ψ: deliver only to our shard's nodes, no
                 # cross-worker ordering needed — each node's mail sequence
                 # comes from exactly this worker, in batch order.
-                keep = shard_map.shard_of(nodes) == worker_id if len(nodes) \
-                    else np.zeros(0, dtype=bool)
-                mailbox.deliver(nodes[keep], mails[keep], times[keep])
+                with apply_span:
+                    keep = shard_map.shard_of(nodes) == worker_id if len(nodes) \
+                        else np.zeros(0, dtype=bool)
+                    mailbox.deliver(nodes[keep], mails[keep], times[keep])
+                    mails_delivered = int(keep.sum())
                 with cond:
                     delivered[worker_id] = task.seq + 1
+                    completed[worker_id] += 1
                     if end_time is not None:
                         watermark[worker_id] = max(watermark[worker_id], end_time)
                     lag_sum[worker_id] += time.monotonic() - task.submitted_wall
@@ -346,19 +418,29 @@ def _worker_main(setup: _WorkerSetup, task_queue, delivered, watermark,
                 # then write into the shared mailbox.  Exclusivity needs no
                 # lock around the write itself — only the worker whose seq
                 # matches the counter may proceed, and only it advances it.
-                with cond:
-                    while delivered[0] != task.seq:
-                        cond.wait(1.0)
-                mailbox.deliver(nodes, mails, times)
+                # The apply span covers the ordering wait too: serialisation
+                # stalls are exactly what the trace should show.
+                with apply_span:
+                    with cond:
+                        while delivered[0] != task.seq:
+                            cond.wait(1.0)
+                    mailbox.deliver(nodes, mails, times)
+                    mails_delivered = len(nodes)
                 with cond:
                     delivered[0] = task.seq + 1
+                    completed[worker_id] += 1
                     if end_time is not None:
                         watermark[0] = max(watermark[0], end_time)
                     lag_sum[worker_id] += time.monotonic() - task.submitted_wall
                     cond.notify_all()
+            telemetry.count("batches.delivered")
+            telemetry.count("mails.delivered", float(mails_delivered))
+            if end_time is not None:
+                telemetry.gauge("watermark", end_time)
     finally:
         mailbox.release_shared()
         store.close()
+        telemetry.release_shared()
 
 
 class ServingRuntime:
@@ -399,6 +481,7 @@ class ServingRuntime:
         self._max_backlog_seen = 0
         self._store: EventStore | None = None
         self._store_path: str | None = None
+        self._telemetry = NULL_TELEMETRY
 
     @classmethod
     def for_model(cls, model, config: RuntimeConfig | None = None) -> "ServingRuntime":
@@ -438,19 +521,33 @@ class ServingRuntime:
         num_workers = self.config.num_workers
         handle = self.mailbox.share_memory()
         try:
+            # Telemetry first: everything after it can report through it, and
+            # a failure at any later step releases its segments on unwind.
+            if self.config.telemetry:
+                self._telemetry = Telemetry.create(
+                    serving_telemetry_spec(self.config.trace_capacity),
+                    num_writers=num_workers + 1, writer=0,
+                    writer_labels=("scorer",) + tuple(
+                        f"worker-{i}" for i in range(num_workers)))
+            else:
+                self._telemetry = NULL_TELEMETRY
             self._store_path = tempfile.mkdtemp(prefix="apan-events-",
                                                 dir=self.config.store_dir)
             self._store = EventStore.create_mmap(
                 self._store_path, num_nodes=self.spec.num_nodes,
                 edge_feature_dim=self.spec.edge_feature_dim)
+            self._store.telemetry = self._telemetry
             ctx = mp.get_context(self.config.resolved_start_method())
             self._cond = ctx.Condition()
             self._delivered = ctx.Array("q", num_workers, lock=False)
+            self._completed = ctx.Array("q", num_workers, lock=False)
             self._watermark = ctx.Array(
                 "d", [float(initial_watermark)] * num_workers, lock=False)
             self._lag_sum = ctx.Array("d", num_workers, lock=False)
             self._submitted_shared = ctx.Array("q", num_workers, lock=False)
             self._ready = ctx.Value("q", 0, lock=False)
+            telemetry_handle = self._telemetry.handle() \
+                if self.config.telemetry else None
             self._queues = [ctx.Queue() for _ in range(num_workers)]
             self._workers = [
                 ctx.Process(
@@ -459,10 +556,11 @@ class ServingRuntime:
                               worker_id=worker_id, num_workers=num_workers,
                               sharded=self._sharded, mailbox_handle=handle,
                               store_handle=self._store.handle(), spec=self.spec,
-                              nice_increment=self.config.worker_nice),
-                          queue, self._delivered, self._watermark,
-                          self._lag_sum, self._submitted_shared, self._cond,
-                          self._ready),
+                              nice_increment=self.config.worker_nice,
+                              telemetry_handle=telemetry_handle),
+                          queue, self._delivered, self._completed,
+                          self._watermark, self._lag_sum,
+                          self._submitted_shared, self._cond, self._ready),
                     name=f"propagation-worker-{worker_id}",
                     daemon=True,
                 )
@@ -509,6 +607,7 @@ class ServingRuntime:
         self._queues = []
         self.mailbox.release_shared()
         self._destroy_store()
+        self._telemetry.release_shared()
 
     def _destroy_store(self) -> None:
         if self._store is not None:
@@ -555,6 +654,10 @@ class ServingRuntime:
                 queue.close()
             self.mailbox.release_shared()
             self._destroy_store()
+            # Owner release copies the metrics/trace data into private
+            # memory before unlinking, so the telemetry stays exportable
+            # (``runtime.telemetry.write_chrome_trace(...)``) after close.
+            self._telemetry.release_shared()
             self._workers = []
             self._queues = []
             self._started = False
@@ -579,42 +682,48 @@ class ServingRuntime:
         """
         if not self._started:
             raise RuntimeError("runtime is not started")
+        telemetry = self._telemetry
         deadline = time.monotonic() + self.config.submit_timeout_s
         targets = range(self.config.num_workers) if self._sharded \
             else [self._submitted % self.config.num_workers]
-        with self._cond:
-            while self._submitted - self._delivered_floor() >= self.config.max_backlog:
-                self._check_workers_alive()
-                if time.monotonic() > deadline:
-                    raise RuntimeError(
-                        f"backpressure timeout: backlog stuck at "
-                        f"{self._submitted - self._delivered_floor()} for "
-                        f"{self.config.submit_timeout_s}s"
-                    )
-                self._cond.wait(0.5)
-            seq = self._submitted
-            self._submitted += 1
+        with telemetry.span("scorer.submit") as submit_span:
+            with self._cond:
+                while self._submitted - self._delivered_floor() >= self.config.max_backlog:
+                    self._check_workers_alive()
+                    if time.monotonic() > deadline:
+                        raise RuntimeError(
+                            f"backpressure timeout: backlog stuck at "
+                            f"{self._submitted - self._delivered_floor()} for "
+                            f"{self.config.submit_timeout_s}s"
+                        )
+                    self._cond.wait(0.5)
+                seq = self._submitted
+                self._submitted += 1
+                for worker_id in targets:
+                    self._submitted_shared[worker_id] += 1
+                backlog = self._submitted - self._delivered_floor()
+                self._max_backlog_seen = max(self._max_backlog_seen, backlog)
+            # Publish the events before the task that references them: the
+            # store's meta write happens-before the queue put, so a worker
+            # that sees the task can always remap to the rows it names.
+            start_row = self._store.num_events
+            self._store.append_batch(batch.src, batch.dst, batch.timestamps,
+                                     batch.edge_features, batch.labels)
+            task = _Task(
+                seq=seq,
+                start_row=start_row,
+                stop_row=self._store.num_events,
+                src_embeddings=np.asarray(src_embeddings, dtype=np.float64),
+                dst_embeddings=np.asarray(dst_embeddings, dtype=np.float64),
+                submitted_wall=time.monotonic(),
+            )
+            self._inflight_walls.append((seq, task.submitted_wall))
             for worker_id in targets:
-                self._submitted_shared[worker_id] += 1
-            backlog = self._submitted - self._delivered_floor()
-            self._max_backlog_seen = max(self._max_backlog_seen, backlog)
-        # Publish the events before the task that references them: the
-        # store's meta write happens-before the queue put, so a worker that
-        # sees the task can always remap to the rows it names.
-        start_row = self._store.num_events
-        self._store.append_batch(batch.src, batch.dst, batch.timestamps,
-                                 batch.edge_features, batch.labels)
-        task = _Task(
-            seq=seq,
-            start_row=start_row,
-            stop_row=self._store.num_events,
-            src_embeddings=np.asarray(src_embeddings, dtype=np.float64),
-            dst_embeddings=np.asarray(dst_embeddings, dtype=np.float64),
-            submitted_wall=time.monotonic(),
-        )
-        self._inflight_walls.append((seq, task.submitted_wall))
-        for worker_id in targets:
-            self._queues[worker_id].put(task)
+                self._queues[worker_id].put(task)
+            submit_span.set_arg(task.stop_row - start_row)
+        telemetry.gauge("backlog", float(backlog))
+        telemetry.count("batches.submitted")
+        telemetry.count("events.submitted", float(task.stop_row - start_row))
         return seq
 
     def drain(self, timeout_s: float | None = None) -> None:
@@ -652,6 +761,53 @@ class ServingRuntime:
             staleness_ms = 1000.0 * (time.monotonic() - self._inflight_walls[0][1])
         return StalenessSnapshot(backlog=backlog, watermark=watermark,
                                  staleness_ms=staleness_ms)
+
+    @property
+    def telemetry(self):
+        """The runtime's telemetry sink (``NULL_TELEMETRY`` unless enabled).
+
+        While started it aggregates live from shared memory; after ``close``
+        it keeps serving reads (and the Chrome trace export) from private
+        copies of the final state.
+        """
+        return self._telemetry
+
+    def telemetry_snapshot(self) -> RuntimeTelemetrySnapshot:
+        """Live pool progress mid-run, straight from shared memory.
+
+        Works whether or not ``config.telemetry`` is on — the shared
+        progress arrays always exist; only ``metrics`` needs the telemetry
+        segments.  Safe to call from the scorer at any time (one condition
+        acquisition, no pickling, workers never pause).
+        """
+        staleness = self.staleness()
+        if not self._started:
+            return RuntimeTelemetrySnapshot(
+                backlog=0, submitted=self._submitted, delivered=self._submitted,
+                watermark=staleness.watermark, staleness_ms=0.0,
+                per_worker_delivered=[], per_worker_watermark=[],
+                per_worker_mean_lag_ms=[],
+                metrics=self._telemetry.snapshot())
+        with self._cond:
+            delivered_floor = self._delivered_floor()
+            per_worker_completed = list(self._completed[:])
+            per_worker_watermark = list(self._watermark[:])
+            per_worker_lag_sum = list(self._lag_sum[:])
+        per_worker_mean_lag_ms = [
+            1000.0 * lag / done if done else 0.0
+            for lag, done in zip(per_worker_lag_sum, per_worker_completed)
+        ]
+        return RuntimeTelemetrySnapshot(
+            backlog=staleness.backlog,
+            submitted=self._submitted,
+            delivered=delivered_floor,
+            watermark=staleness.watermark,
+            staleness_ms=staleness.staleness_ms,
+            per_worker_delivered=per_worker_completed,
+            per_worker_watermark=per_worker_watermark,
+            per_worker_mean_lag_ms=per_worker_mean_lag_ms,
+            metrics=self._telemetry.snapshot(),
+        )
 
     @property
     def submitted_count(self) -> int:

@@ -48,6 +48,7 @@ from ..core.interfaces import TemporalEmbeddingModel
 from ..graph.batching import EventBatch, iterate_batches
 from ..graph.temporal_graph import TemporalGraph
 from ..nn.tensor import no_grad
+from ..obs import summarize
 from .latency import StorageLatencyModel
 from .queue import AsyncWorkQueue
 
@@ -102,16 +103,16 @@ class ServingReport:
 def _percentile_report(mode: str, decision_latencies: list[float],
                        compute_latencies: list[float], num_events: int,
                        **extra) -> ServingReport:
-    latencies = np.asarray(decision_latencies)
+    summary = summarize(decision_latencies)
     return ServingReport(
         mode=mode,
-        mean_decision_ms=float(latencies.mean()),
-        p50_decision_ms=float(np.percentile(latencies, 50)),
-        p95_decision_ms=float(np.percentile(latencies, 95)),
-        p99_decision_ms=float(np.percentile(latencies, 99)),
+        mean_decision_ms=summary.mean,
+        p50_decision_ms=summary.p50,
+        p95_decision_ms=summary.p95,
+        p99_decision_ms=summary.p99,
         num_decisions=num_events,
         mean_compute_ms=float(np.mean(compute_latencies)) if compute_latencies else 0.0,
-        decision_latencies_ms=latencies.tolist(),
+        decision_latencies_ms=np.asarray(decision_latencies, dtype=np.float64).tolist(),
         **extra,
     )
 
@@ -134,6 +135,10 @@ class DeploymentSimulator:
         self.batch_size = batch_size
         self.async_workers = async_workers
         self.async_work_factor = async_work_factor
+        # After an "asynchronous-real" run with RuntimeConfig(telemetry=True),
+        # holds the run's Telemetry (private post-close copy): call
+        # .write_chrome_trace(path) / .snapshot() on it.  None otherwise.
+        self.last_telemetry = None
 
     # ------------------------------------------------------------------ #
     def _decision_storage_cost(self, batch: EventBatch, synchronous: bool) -> float:
@@ -259,6 +264,7 @@ class DeploymentSimulator:
 
         first_time = float(self.graph.timestamps[0]) if self.graph.num_events else 0.0
         runtime.start(initial_watermark=first_time)
+        telemetry = runtime.telemetry
         try:
             with no_grad():
                 for index, batch in enumerate(iterate_batches(self.graph, self.batch_size)):
@@ -266,11 +272,14 @@ class DeploymentSimulator:
                         break
 
                     # --- synchronous decision path (all measured) ------------
-                    snapshot = runtime.staleness()  # staleness of the read below
-                    begin = time.perf_counter()
-                    embeddings = self.model.compute_embeddings(batch)
-                    self.model.link_logits(embeddings.src, embeddings.dst)
-                    compute_ms = (time.perf_counter() - begin) * 1000.0
+                    with telemetry.span("scorer.decision") as decision_span:
+                        snapshot = runtime.staleness()  # staleness of the read below
+                        begin = time.perf_counter()
+                        with telemetry.span("scorer.encode", arg=len(batch)):
+                            embeddings = self.model.compute_embeddings(batch)
+                        self.model.link_logits(embeddings.src, embeddings.dst)
+                        compute_ms = (time.perf_counter() - begin) * 1000.0
+                        decision_span.set_arg(compute_ms)
                     compute_latencies.append(compute_ms)
                     storage_ms = self._decision_storage_cost(batch, synchronous=False)
                     decision_latencies.append(compute_ms + storage_ms)
@@ -288,6 +297,9 @@ class DeploymentSimulator:
             # stuck backlog after an error would mask the original exception.
             runtime.close(drain=False)
             self.model.train(was_training)
+            # close() copied the telemetry private, so the handle stays
+            # readable/exportable after the runtime is gone.
+            self.last_telemetry = telemetry if telemetry.enabled else None
 
         return _percentile_report(
             "asynchronous-real", decision_latencies, compute_latencies,

@@ -44,6 +44,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import NULL_TELEMETRY
+
 __all__ = ["EventStore", "EventStoreHandle"]
 
 _META_NAME = "meta.json"
@@ -108,6 +110,10 @@ class EventStore:
         self._last_timestamp = -np.inf
         self._path: Path | None = None
         self._writable = True
+        # Observability sink; callers that want spans ("store.append",
+        # "store.refresh") swap in a live Telemetry — the serving runtime
+        # does for both the scorer's writer store and the workers' readers.
+        self.telemetry = NULL_TELEMETRY
         self._columns: dict[str, np.ndarray] = {
             name: np.empty(self._column_shape(name, 0), dtype=dtype)
             for name, dtype, _ in _COLUMNS
@@ -232,18 +238,19 @@ class EventStore:
             if len(nodes) and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
                 raise IndexError("node id out of range")
 
-        count = self._num_events
-        stop = count + len(src)
-        self._reserve(stop)
-        self._columns["src"][count:stop] = src
-        self._columns["dst"][count:stop] = dst
-        self._columns["timestamps"][count:stop] = timestamps
-        self._columns["labels"][count:stop] = labels
-        self._columns["edge_features"][count:stop] = edge_features
-        self._num_events = stop
-        self._last_timestamp = float(timestamps[-1])
-        if self._path is not None:
-            self._write_meta()
+        with self.telemetry.span("store.append", arg=len(src)):
+            count = self._num_events
+            stop = count + len(src)
+            self._reserve(stop)
+            self._columns["src"][count:stop] = src
+            self._columns["dst"][count:stop] = dst
+            self._columns["timestamps"][count:stop] = timestamps
+            self._columns["labels"][count:stop] = labels
+            self._columns["edge_features"][count:stop] = edge_features
+            self._num_events = stop
+            self._last_timestamp = float(timestamps[-1])
+            if self._path is not None:
+                self._write_meta()
         return np.arange(count, stop, dtype=np.int64)
 
     def _reserve(self, needed: int) -> None:
@@ -274,12 +281,13 @@ class EventStore:
         """
         if self._path is None:
             return self
-        meta = json.loads((self._path / _META_NAME).read_text())
-        if meta["capacity"] != self._capacity:
-            for name, dtype, _ in _COLUMNS:
-                self._remap_column(name, dtype, meta["capacity"],
-                                   "r+" if self._writable else "r")
-        self._apply_meta(meta)
+        with self.telemetry.span("store.refresh"):
+            meta = json.loads((self._path / _META_NAME).read_text())
+            if meta["capacity"] != self._capacity:
+                for name, dtype, _ in _COLUMNS:
+                    self._remap_column(name, dtype, meta["capacity"],
+                                       "r+" if self._writable else "r")
+            self._apply_meta(meta)
         return self
 
     def ensure_visible(self, num_events: int) -> "EventStore":

@@ -417,6 +417,41 @@ class TestSharedStateCleanup:
         assert _shm_segment_names() == segments_before
         assert _event_store_dirs() == stores_before
 
+    def test_failed_start_releases_telemetry_segments(self):
+        """Telemetry segments are torn down with the rest on a failed start."""
+        segments_before = _shm_segment_names()
+        mailbox = Mailbox(NUM_NODES, SLOTS, DIM)
+        spec = PropagatorSpec(NUM_NODES, DIM, dict(sampling="no-such-strategy"))
+        runtime = ServingRuntime(mailbox, spec,
+                                 RuntimeConfig(num_workers=2, telemetry=True))
+        with pytest.raises(RuntimeError, match="died during startup"):
+            runtime.start()
+        assert _shm_segment_names() == segments_before
+        assert not runtime.telemetry.is_shared
+
+    def test_sigkilled_worker_telemetry_close_unlinks_segments(self):
+        segments_before = _shm_segment_names()
+        mailbox = Mailbox(NUM_NODES, SLOTS, DIM)
+        spec = PropagatorSpec(NUM_NODES, DIM,
+                              dict(num_hops=2, num_neighbors=5, seed=3))
+        runtime = ServingRuntime(
+            mailbox, spec,
+            RuntimeConfig(num_workers=2, max_backlog=4, telemetry=True))
+        runtime.start()
+        for pid in runtime.worker_pids():
+            os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + 30.0
+        while runtime.workers_alive():
+            if time.monotonic() > deadline:
+                pytest.fail("SIGKILLed workers did not exit")
+            time.sleep(0.02)
+        runtime.close(drain=False)
+        assert _shm_segment_names() == segments_before
+        assert not runtime.telemetry.is_shared
+        # The killed workers never wrote, but the scorer-side data survives
+        # in a private copy and the trace still exports.
+        runtime.telemetry.chrome_events()
+
     def test_mailbox_finalizer_unlinks_segments_without_release(self):
         """Dropping a shared mailbox without release_shared() must not leak."""
         import gc
