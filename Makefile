@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: test test-fast equivalence bench bench-serving bench-storage \
-	bench-obs trace docs-check
+	bench-obs bench-analytics trace docs-check
 
 ## Tier-1: the full suite (unit tests + paper benchmarks), as CI runs it.
 test:
@@ -43,6 +43,13 @@ bench-storage:
 ## TRACE_serving.json and assert overhead < OBS_BENCH_MAX_OVERHEAD_PCT (5%).
 bench-obs:
 	$(PYTHON) -m pytest -q benchmarks/test_obs_overhead.py -s
+
+## Fold a constant-rate stream through the analytics views at 1x and 10x
+## length, write BENCH_analytics.json and assert the per-event maintenance
+## cost stays flat (O(1) per event, <= ANALYTICS_BENCH_RATIO_CEILING, 2x).
+## ANALYTICS_BENCH_EVENTS / ANALYTICS_BENCH_SCALE scale the workload.
+bench-analytics:
+	$(PYTHON) -m pytest -q benchmarks/test_analytics_throughput.py -s
 
 ## Run a telemetry-enabled serving workload and export trace.json — open it
 ## in chrome://tracing or https://ui.perfetto.dev to see every pipeline span.

@@ -29,6 +29,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.analytics import AnalyticsFeatureProvider
 from repro.core import APAN, APANConfig
 from repro.datasets import bipartite_interaction_dataset
 from repro.serving import DeploymentSimulator, RuntimeConfig, StorageLatencyModel
@@ -66,6 +67,8 @@ def measurements():
     simulator = DeploymentSimulator(model, graph, storage=storage,
                                     batch_size=BATCH_SIZE)
 
+    window = float(graph.timestamps[-1] - graph.timestamps[0]) / 4 or 1.0
+
     walls = {False: [], True: []}
     telemetry = None
     for rep in range(REPS):
@@ -74,6 +77,11 @@ def measurements():
         order = (False, True) if rep % 2 == 0 else (True, False)
         for instrumented in order:
             model.reset_state()
+            # Fresh feature store per run: both modes pay the identical
+            # lookup/advance work, and the instrumented run's trace shows
+            # the features.* spans of a full fold, not idempotent no-ops.
+            simulator.feature_provider = AnalyticsFeatureProvider(
+                graph, window=window)
             begin = time.perf_counter()
             simulator.run(mode="asynchronous-real",
                           runtime_config=_runtime_config(instrumented))
@@ -128,7 +136,8 @@ def test_trace_export_is_valid_chrome_trace(measurements):
     assert document["displayTimeUnit"] == "ms"
     span_names = {e["name"] for e in events if e.get("ph") == "X"}
     for required in ("scorer.decision", "scorer.submit", "queue.ride",
-                     "worker.propagate", "worker.apply", "store.append"):
+                     "worker.propagate", "worker.apply", "store.append",
+                     "features.lookup", "features.advance"):
         assert required in span_names, f"missing {required} spans in trace"
     worker_pids = {e["pid"] for e in events
                    if e["name"] == "worker.propagate" and e.get("ph") == "X"}

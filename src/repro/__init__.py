@@ -20,7 +20,9 @@ Quickstart::
     print(result.as_dict())
 """
 
+# analytics imports the serving layer, so it comes after the core chain.
 from . import baselines, core, datasets, eval, graph, nn, serving, utils
+from . import analytics
 from .core import APAN, APANConfig, LinkPredictionTrainer, TemporalEmbeddingModel
 from .datasets import TemporalDataset, get_dataset
 from .graph import TemporalGraph
@@ -42,6 +44,7 @@ __all__ = [
     "baselines",
     "eval",
     "serving",
+    "analytics",
     "utils",
     "__version__",
 ]

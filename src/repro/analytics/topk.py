@@ -1,0 +1,115 @@
+"""Bounded top-k view of per-node risk scores (heap + lazy eviction).
+
+:class:`TopKView` answers "which k nodes look riskiest right now" in
+O(k log H) without ever sorting the full score table.  Each
+:meth:`TopKView.update` keeps only the **latest** score per node and pushes
+a versioned entry onto a max-heap; superseded entries stay in the heap and
+are discarded lazily when a query pops them (their version no longer matches
+the node's current one).  The heap is compacted — rebuilt from the live
+entries only — whenever stale entries outnumber live ones by
+``compact_factor``, which bounds the heap at
+``compact_factor * max(live nodes, k)`` entries no matter how many updates
+stream through.
+
+Ties are deterministic: equal scores rank by ascending node id, so the view,
+the recompute oracle (:func:`repro.analytics.recompute.recompute_topk`) and
+any replay agree exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["TopKView"]
+
+
+class TopKView:
+    """Maintains the top-k latest scores over a stream of (node, score) updates."""
+
+    def __init__(self, k: int, compact_factor: int = 4):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if compact_factor < 2:
+            raise ValueError("compact_factor must be >= 2")
+        self.k = int(k)
+        self.compact_factor = int(compact_factor)
+        self._scores: dict[int, float] = {}   # node -> latest score
+        self._versions: dict[int, int] = {}   # node -> version of that score
+        self._heap: list[tuple[float, int, int]] = []  # (-score, node, version)
+        self.num_updates = 0
+        self.num_compactions = 0
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def update(self, nodes: np.ndarray, scores: np.ndarray) -> None:
+        """Record the latest risk score for each node (later wins).
+
+        Duplicate nodes within one call resolve left-to-right, matching a
+        sequential replay of the update stream.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+        if len(nodes) != len(scores):
+            raise ValueError("nodes and scores must have equal length")
+        for node, score in zip(nodes.tolist(), scores.tolist()):
+            version = self._versions.get(node, 0) + 1
+            self._versions[node] = version
+            self._scores[node] = score
+            heapq.heappush(self._heap, (-score, node, version))
+        self.num_updates += len(nodes)
+        if len(self._heap) > self.compact_factor * max(len(self._scores), self.k):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every stale entry: rebuild the heap from live scores only."""
+        self._heap = [(-score, node, self._versions[node])
+                      for node, score in self._scores.items()]
+        heapq.heapify(self._heap)
+        self.num_compactions += 1
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def top(self, k: int | None = None) -> list[tuple[int, float]]:
+        """The ``k`` (default: the view's k) highest-scored (node, score) pairs.
+
+        Pops lazily: stale entries met on the way out are evicted for good,
+        live ones are pushed back, so the amortised cost of queries is
+        O(k log heap) plus one eviction per superseded update, ever.
+        """
+        k = self.k if k is None else int(k)
+        live: list[tuple[float, int, int]] = []
+        while len(live) < k and self._heap:
+            entry = heapq.heappop(self._heap)
+            neg_score, node, version = entry
+            if self._versions.get(node) == version:
+                live.append(entry)
+            # else: superseded — evicted now, never re-pushed
+        result = [(node, -neg_score) for neg_score, node, version in live]
+        for entry in live:
+            heapq.heappush(self._heap, entry)
+        return result
+
+    def score_of(self, node: int) -> float | None:
+        """The node's latest score, or None if never scored."""
+        return self._scores.get(int(node))
+
+    @property
+    def num_tracked(self) -> int:
+        """Distinct nodes with a live score."""
+        return len(self._scores)
+
+    @property
+    def heap_size(self) -> int:
+        """Current heap length including stale entries (bounded by compaction)."""
+        return len(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TopKView(k={self.k}, tracked={self.num_tracked}, "
+                f"heap={self.heap_size}, updates={self.num_updates})")

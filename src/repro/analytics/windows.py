@@ -1,0 +1,173 @@
+"""Sliding-window per-node aggregates on a ring of buckets.
+
+:class:`WindowAggregator` maintains, for every node, event counts and label
+sums over a sliding window of event time — the "fraud rate over the last W
+seconds" feature family.  The layout is the classic **ring of buckets**: the
+window is divided into ``num_buckets`` equal-width time buckets, stored as
+columns of two ``(num_nodes, num_buckets)`` arrays.  Folding a batch is a
+pair of ``np.add.at`` scatters (O(batch)); advancing the watermark by k
+buckets clears k columns (O(min(k, num_buckets)) column writes) — **never**
+a walk over stored events, which is what makes per-event maintenance cost
+independent of history length (the constant-delay discipline of "Answering
+FO+MOD queries under updates"; ``benchmarks/test_analytics_throughput.py``
+asserts the flatness).
+
+Window semantics are bucket-granular: a query covers the ``num_buckets``
+live buckets, i.e. between ``window - bucket_width`` and ``window`` time
+units behind the watermark depending on where the watermark sits inside its
+bucket.  That is the standard precision/state trade of ring aggregation —
+raise ``num_buckets`` for a sharper window edge.
+
+Late events (timestamps behind the watermark) are tolerated up to the ring
+horizon: an event whose bucket is still live folds into that bucket exactly
+as if it had arrived on time; an event older than the horizon
+(``watermark_bucket - num_buckets + 1``) is dropped and counted in
+:attr:`WindowAggregator.late_dropped` — it could only land in a bucket that
+has already been expired and cleared.  The watermark itself never moves
+backwards.  ``tests/analytics/test_views.py`` pins both behaviours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WindowAggregator"]
+
+
+class WindowAggregator:
+    """Per-node sliding-window counts, label sums and rates (ring of buckets).
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the node id space.
+    window:
+        Sliding-window span in event-time units.
+    num_buckets:
+        Ring resolution; each bucket covers ``window / num_buckets`` time.
+    """
+
+    def __init__(self, num_nodes: int, window: float, num_buckets: int = 16):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        self.num_nodes = num_nodes
+        self.window = float(window)
+        self.num_buckets = int(num_buckets)
+        self.bucket_width = self.window / self.num_buckets
+        # Ring state: column ``b % num_buckets`` holds absolute bucket ``b``
+        # while it is live.  Counts are float64 on purpose: the recompute
+        # oracle adds the same values through the same ``np.add.at`` order,
+        # so equality is exact (bit-for-bit), and one dtype serves both
+        # counts and label sums.
+        self.counts = np.zeros((num_nodes, num_buckets), dtype=np.float64)
+        self.label_sums = np.zeros((num_nodes, num_buckets), dtype=np.float64)
+        self._watermark_bucket: int | None = None  # absolute id of newest bucket
+        self.watermark_time = -np.inf
+        self.late_dropped = 0
+        self.num_folded = 0
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def _bucket_of(self, timestamps: np.ndarray) -> np.ndarray:
+        return np.floor(np.asarray(timestamps, dtype=np.float64)
+                        / self.bucket_width).astype(np.int64)
+
+    @property
+    def watermark_bucket(self) -> int | None:
+        """Absolute id of the newest bucket ever folded (None while empty)."""
+        return self._watermark_bucket
+
+    @property
+    def horizon_bucket(self) -> int | None:
+        """Oldest absolute bucket still live; events below it are dropped."""
+        if self._watermark_bucket is None:
+            return None
+        return self._watermark_bucket - self.num_buckets + 1
+
+    def advance_watermark(self, time: float) -> None:
+        """Move the watermark to ``time``, expiring buckets that fall out.
+
+        O(min(buckets crossed, num_buckets)) column clears, independent of
+        how many events the expired buckets held.  Never moves backwards.
+        """
+        self.watermark_time = max(self.watermark_time, float(time))
+        new_bucket = int(np.floor(float(time) / self.bucket_width))
+        if self._watermark_bucket is None:
+            self._watermark_bucket = new_bucket
+            return
+        if new_bucket <= self._watermark_bucket:
+            return
+        steps = min(new_bucket - self._watermark_bucket, self.num_buckets)
+        # The slots entering the window [wm+1, new_bucket] — at most one
+        # full ring revolution, so the slot ids are distinct.
+        entering = (np.arange(new_bucket - steps + 1, new_bucket + 1)
+                    % self.num_buckets)
+        self.counts[:, entering] = 0.0
+        self.label_sums[:, entering] = 0.0
+        self._watermark_bucket = new_bucket
+
+    def fold(self, src: np.ndarray, dst: np.ndarray, timestamps: np.ndarray,
+             labels: np.ndarray, first_row: int = 0) -> None:
+        """Fold one event block: both endpoints count, labels accumulate.
+
+        The uniform view interface :meth:`ViewRegistry.advance` calls.
+        Occurrence order is per event, source endpoint before destination —
+        the same order the recompute oracle uses, which is what makes label
+        sums bit-equal between incremental and batch recomputation.
+        """
+        del first_row  # windows do not need row ids
+        src = np.asarray(src, dtype=np.int64).reshape(-1)
+        dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        timestamps = np.asarray(timestamps, dtype=np.float64).reshape(-1)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if not len(src):
+            return
+        buckets = self._bucket_of(timestamps)
+        self.advance_watermark(float(timestamps.max()))
+        live = buckets >= self.horizon_bucket
+        self.late_dropped += int(len(buckets) - live.sum())
+        if not live.any():
+            self.num_folded += len(src)
+            return
+        slots = buckets[live] % self.num_buckets
+        occ_nodes = np.empty(2 * int(live.sum()), dtype=np.int64)
+        occ_nodes[0::2] = src[live]
+        occ_nodes[1::2] = dst[live]
+        occ_slots = np.repeat(slots, 2)
+        occ_labels = np.repeat(labels[live], 2)
+        np.add.at(self.counts, (occ_nodes, occ_slots), 1.0)
+        np.add.at(self.label_sums, (occ_nodes, occ_slots), occ_labels)
+        self.num_folded += len(src)
+
+    # ------------------------------------------------------------------ #
+    # Queries (pure array gathers; O(len(nodes) * num_buckets))
+    # ------------------------------------------------------------------ #
+    def count(self, nodes: np.ndarray) -> np.ndarray:
+        """Window event count per node (as either endpoint)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.counts[nodes].sum(axis=-1)
+
+    def label_sum(self, nodes: np.ndarray) -> np.ndarray:
+        """Window label sum per node (e.g. number of fraud-flagged events)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.label_sums[nodes].sum(axis=-1)
+
+    def rate(self, nodes: np.ndarray) -> np.ndarray:
+        """Window mean label per node — the sliding fraud rate (0 if idle)."""
+        counts = self.count(nodes)
+        sums = self.label_sum(nodes)
+        return np.divide(sums, counts, out=np.zeros_like(sums),
+                         where=counts > 0)
+
+    def memory_footprint_bytes(self) -> int:
+        return self.counts.nbytes + self.label_sums.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WindowAggregator(num_nodes={self.num_nodes}, "
+                f"window={self.window}, num_buckets={self.num_buckets}, "
+                f"folded={self.num_folded})")

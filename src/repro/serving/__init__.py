@@ -10,10 +10,16 @@ from .runtime import (
     StalenessSnapshot,
     serving_telemetry_spec,
 )
-from .service import SERVING_MODES, DeploymentSimulator, ServingReport
+from .service import (
+    SERVING_MODES,
+    DeploymentSimulator,
+    FeatureProvider,
+    ServingReport,
+)
 
 __all__ = [
     "StorageLatencyModel",
+    "FeatureProvider",
     "AsyncTask",
     "AsyncWorkQueue",
     "PropagatorSpec",

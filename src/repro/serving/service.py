@@ -48,13 +48,55 @@ from ..core.interfaces import TemporalEmbeddingModel
 from ..graph.batching import EventBatch, iterate_batches
 from ..graph.temporal_graph import TemporalGraph
 from ..nn.tensor import no_grad
-from ..obs import summarize
+from ..obs import NULL_TELEMETRY, summarize
 from .latency import StorageLatencyModel
 from .queue import AsyncWorkQueue
 
-__all__ = ["ServingReport", "DeploymentSimulator", "SERVING_MODES"]
+__all__ = ["FeatureProvider", "ServingReport", "DeploymentSimulator",
+           "SERVING_MODES"]
 
 SERVING_MODES = ("synchronous", "asynchronous-simulated", "asynchronous-real")
+
+
+class FeatureProvider:
+    """Decision-path seam for derived analytics (the online feature store).
+
+    A feature provider lets every serving mode consult incrementally
+    maintained per-node features *on* the decision path while their
+    maintenance stays *off* it.  The simulator calls, per scored
+    micro-batch:
+
+    * :meth:`lookup` — on the decision's critical path, before the encoder
+      runs.  Must be O(batch) gathers against precomputed state; its wall
+      time is charged to the decision latency.
+    * :meth:`observe_scores` — after the decision, with the scorer's risk
+      logits for the batch (feeds e.g. a top-k risk view).
+    * :meth:`advance` — after the decision, publishing event rows
+      ``[0, hi)`` to the provider's views (exactly-once fold maintenance).
+
+    :meth:`bind_telemetry` is called by the real runtime path so lookups
+    and advances report through the run's :mod:`repro.obs` spans
+    (``features.lookup`` / ``features.advance``).  The base class is a
+    no-op stub — :class:`repro.analytics.AnalyticsFeatureProvider` is the
+    real implementation, backed by a
+    :class:`~repro.analytics.registry.ViewRegistry`.
+    """
+
+    telemetry = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def lookup(self, batch: EventBatch):
+        """Per-event feature rows for the batch (None: no features)."""
+        return None
+
+    def observe_scores(self, batch: EventBatch, scores: np.ndarray) -> None:
+        """Fold the scorer's per-event risk scores into derived views."""
+
+    def advance(self, hi: int) -> int:
+        """Publish event rows ``[0, hi)`` to the provider's views."""
+        return int(hi)
 
 
 @dataclass
@@ -128,13 +170,17 @@ class DeploymentSimulator:
     def __init__(self, model: TemporalEmbeddingModel, graph: TemporalGraph,
                  storage: StorageLatencyModel | None = None,
                  batch_size: int = 200, async_workers: int = 2,
-                 async_work_factor: float = 1.0):
+                 async_work_factor: float = 1.0,
+                 feature_provider: FeatureProvider | None = None):
         self.model = model
         self.graph = graph
         self.storage = storage if storage is not None else StorageLatencyModel()
         self.batch_size = batch_size
         self.async_workers = async_workers
         self.async_work_factor = async_work_factor
+        # Optional online feature store consulted on the decision path; its
+        # view maintenance (advance) runs off the critical path per batch.
+        self.feature_provider = feature_provider
         # After an "asynchronous-real" run with RuntimeConfig(telemetry=True),
         # holds the run's Telemetry (private post-close copy): call
         # .write_chrome_trace(path) / .snapshot() on it.  None otherwise.
@@ -186,6 +232,7 @@ class DeploymentSimulator:
     def _run_simulated(self, max_batches: int | None, mode: str) -> ServingReport:
         synchronous = mode == "synchronous"
         queue = AsyncWorkQueue(num_workers=self.async_workers)
+        provider = self.feature_provider
 
         was_training = self.model.training
         self.model.eval()
@@ -203,8 +250,10 @@ class DeploymentSimulator:
                 # One batched encoder call scores the whole micro-batch of
                 # arrivals (see the module docstring).
                 begin = time.perf_counter()
+                if provider is not None:
+                    provider.lookup(batch)  # feature gathers: decision path
                 embeddings = self.model.compute_embeddings(batch)
-                self.model.link_logits(embeddings.src, embeddings.dst)
+                logits = self.model.link_logits(embeddings.src, embeddings.dst)
                 compute_ms = (time.perf_counter() - begin) * 1000.0
                 compute_latencies.append(compute_ms)
                 storage_ms = self._decision_storage_cost(batch, synchronous)
@@ -220,6 +269,12 @@ class DeploymentSimulator:
                     decision_ms = compute_ms + storage_ms
                     queue.submit(simulation_clock_ms + decision_ms, update_ms,
                                  payload=index)
+
+                if provider is not None:
+                    # View maintenance rides off the decision's critical path.
+                    scores = np.asarray(logits.data, dtype=np.float64).reshape(-1)
+                    provider.observe_scores(batch, scores)
+                    provider.advance(int(batch.edge_ids[-1]) + 1)
 
                 decision_latencies.append(decision_ms)
                 num_events_served += len(batch)
@@ -265,6 +320,10 @@ class DeploymentSimulator:
         first_time = float(self.graph.timestamps[0]) if self.graph.num_events else 0.0
         runtime.start(initial_watermark=first_time)
         telemetry = runtime.telemetry
+        provider = self.feature_provider
+        if provider is not None:
+            # Feature lookups/advances report through this run's spans.
+            provider.bind_telemetry(telemetry)
         try:
             with no_grad():
                 for index, batch in enumerate(iterate_batches(self.graph, self.batch_size)):
@@ -275,9 +334,11 @@ class DeploymentSimulator:
                     with telemetry.span("scorer.decision") as decision_span:
                         snapshot = runtime.staleness()  # staleness of the read below
                         begin = time.perf_counter()
+                        if provider is not None:
+                            provider.lookup(batch)  # features: decision path
                         with telemetry.span("scorer.encode", arg=len(batch)):
                             embeddings = self.model.compute_embeddings(batch)
-                        self.model.link_logits(embeddings.src, embeddings.dst)
+                        logits = self.model.link_logits(embeddings.src, embeddings.dst)
                         compute_ms = (time.perf_counter() - begin) * 1000.0
                         decision_span.set_arg(compute_ms)
                     compute_latencies.append(compute_ms)
@@ -289,6 +350,11 @@ class DeploymentSimulator:
                     # --- asynchronous path: off the decision's critical path -
                     self.model.apply_embedding_updates(batch, embeddings)
                     runtime.submit(batch, embeddings.src.data, embeddings.dst.data)
+                    if provider is not None:
+                        scores = np.asarray(logits.data,
+                                            dtype=np.float64).reshape(-1)
+                        provider.observe_scores(batch, scores)
+                        provider.advance(int(batch.edge_ids[-1]) + 1)
             runtime.drain()
             mean_lag_ms = runtime.mean_delivery_lag_ms()
             max_backlog = runtime.max_backlog_seen
@@ -297,6 +363,8 @@ class DeploymentSimulator:
             # stuck backlog after an error would mask the original exception.
             runtime.close(drain=False)
             self.model.train(was_training)
+            if provider is not None:
+                provider.bind_telemetry(NULL_TELEMETRY)
             # close() copied the telemetry private, so the handle stays
             # readable/exportable after the runtime is gone.
             self.last_telemetry = telemetry if telemetry.enabled else None

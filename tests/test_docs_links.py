@@ -1,14 +1,18 @@
-"""Documentation link checker: paths referenced by the docs must resolve.
+"""Documentation drift checker: paths and symbols named by the docs must resolve.
 
 ``README.md`` and the files under ``docs/`` name modules, tests, benchmarks
-and other repo files.  Stale paths in documentation are worse than no docs,
-so this suite extracts every file-looking reference — markdown link targets
-and backticked inline paths — and asserts it exists in the working tree.
+and other repo files.  Stale references in documentation are worse than no
+docs, so this suite extracts every file-looking reference — markdown link
+targets and backticked inline paths — and asserts it exists in the working
+tree, and resolves every backticked dotted ``repro.*`` symbol (class,
+function, constant or attribute) against the installed package, so the
+documented API surface cannot silently drift from the code.
 CI runs this as a dedicated step (see ``.github/workflows/ci.yml``).
 """
 
 from __future__ import annotations
 
+import importlib
 import re
 from pathlib import Path
 
@@ -68,6 +72,50 @@ def test_all_referenced_paths_resolve(doc):
     assert not broken, (
         f"{doc.relative_to(REPO_ROOT)} references paths that do not exist: "
         f"{sorted(set(broken))}"
+    )
+
+
+# Backticked dotted symbols rooted at the package: ``repro.analytics.TopKView``,
+# ``repro.serving.FeatureProvider.lookup``, ``repro.obs`` — with an optional
+# trailing call ``()``.  Wildcards like ``repro.*`` never match.
+_SYMBOL = re.compile(r"^repro(?:\.\w+)+(?:\(\))?$")
+
+
+def extract_symbols(doc: Path) -> list[str]:
+    """Every backticked ``repro.*`` dotted symbol in one markdown document."""
+    symbols: list[str] = []
+    for code in _CODE.findall(doc.read_text()):
+        for token in code.split():
+            if _SYMBOL.match(token):
+                symbols.append(token.removesuffix("()"))
+    return symbols
+
+
+def _symbol_resolves(symbol: str) -> bool:
+    """Import the longest module prefix, then walk the rest with getattr."""
+    parts = symbol.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_all_documented_symbols_resolve(doc):
+    """Backticked ``repro.*`` names must exist in the package (drift audit)."""
+    broken = [symbol for symbol in extract_symbols(doc)
+              if not _symbol_resolves(symbol)]
+    assert not broken, (
+        f"{doc.relative_to(REPO_ROOT)} documents repro.* symbols that do not "
+        f"resolve against the package: {sorted(set(broken))}"
     )
 
 
