@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: test test-fast equivalence bench bench-serving bench-storage \
-	bench-obs bench-analytics trace docs-check
+	bench-obs bench-analytics bench-scenarios trace docs-check
 
 ## Tier-1: the full suite (unit tests + paper benchmarks), as CI runs it.
 test:
@@ -50,6 +50,14 @@ bench-obs:
 ## ANALYTICS_BENCH_EVENTS / ANALYTICS_BENCH_SCALE scale the workload.
 bench-analytics:
 	$(PYTHON) -m pytest -q benchmarks/test_analytics_throughput.py -s
+
+## Serve APAN vs the JODIE/TGN baselines over every hostile scenario
+## (bursty / hubs / drift / late) in both simulated modes under a fold-late
+## watermark policy; write BENCH_scenarios.json and assert the matrix has
+## no missing cells.  SCENARIO_BENCH_EVENTS scales the streams;
+## SCENARIO_BENCH_CACHE=<dir> caches per-cell results across re-runs.
+bench-scenarios:
+	$(PYTHON) -m pytest -q benchmarks/test_scenario_matrix.py -s
 
 ## Run a telemetry-enabled serving workload and export trace.json — open it
 ## in chrome://tracing or https://ui.perfetto.dev to see every pipeline span.

@@ -20,9 +20,11 @@ Quickstart::
     print(result.as_dict())
 """
 
-# analytics imports the serving layer, so it comes after the core chain.
+# analytics imports the serving layer, so it comes after the core chain;
+# scenarios imports analytics + baselines, so it comes last.
 from . import baselines, core, datasets, eval, graph, nn, serving, utils
 from . import analytics
+from . import scenarios
 from .core import APAN, APANConfig, LinkPredictionTrainer, TemporalEmbeddingModel
 from .datasets import TemporalDataset, get_dataset
 from .graph import TemporalGraph
@@ -45,6 +47,7 @@ __all__ = [
     "eval",
     "serving",
     "analytics",
+    "scenarios",
     "utils",
     "__version__",
 ]

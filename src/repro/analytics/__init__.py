@@ -33,9 +33,11 @@ from .recompute import recompute_topk, recompute_velocity, recompute_window
 from .registry import StaleStoreError, ViewRegistry
 from .topk import TopKView
 from .velocity import DegreeVelocity
+from .watermark import WatermarkPolicy
 from .windows import WindowAggregator
 
 __all__ = [
+    "WatermarkPolicy",
     "WindowAggregator",
     "DegreeVelocity",
     "TopKView",

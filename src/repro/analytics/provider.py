@@ -25,6 +25,7 @@ from ..serving.service import FeatureProvider
 from .registry import ViewRegistry
 from .topk import TopKView
 from .velocity import DegreeVelocity
+from .watermark import WatermarkPolicy
 from .windows import WindowAggregator
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
@@ -58,13 +59,17 @@ class AnalyticsFeatureProvider(FeatureProvider):
     """
 
     def __init__(self, source, window: float, num_buckets: int = 16,
-                 top_k: int = 10, telemetry=NULL_TELEMETRY):
+                 top_k: int = 10, telemetry=NULL_TELEMETRY,
+                 watermark_policy: WatermarkPolicy | None = None,
+                 event_times=None):
         num_nodes = int(source.num_nodes)
         self.windows = WindowAggregator(num_nodes, window,
-                                        num_buckets=num_buckets)
+                                        num_buckets=num_buckets,
+                                        policy=watermark_policy)
         self.velocity = DegreeVelocity(num_nodes)
         self.topk = TopKView(top_k)
-        self.registry = ViewRegistry(source, telemetry=telemetry)
+        self.registry = ViewRegistry(source, telemetry=telemetry,
+                                     event_times=event_times)
         self.registry.register("window", self.windows)
         self.registry.register("velocity", self.velocity)
         self.telemetry = telemetry
@@ -75,6 +80,35 @@ class AnalyticsFeatureProvider(FeatureProvider):
     def bind_telemetry(self, telemetry) -> None:
         self.telemetry = telemetry
         self.registry.telemetry = telemetry
+
+    def set_watermark_policy(self, policy: WatermarkPolicy) -> None:
+        """Install a late-event policy; must precede the first fold.
+
+        Called by :class:`~repro.serving.service.DeploymentSimulator` when
+        it was handed an explicit ``watermark_policy`` — folds that already
+        happened under another policy cannot be re-adjudicated, so this
+        raises once anything has been published.
+        """
+        if policy == self.windows.policy:
+            return  # idempotent re-install, fine at any point
+        if self.registry.folded:
+            raise RuntimeError(
+                f"cannot change the watermark policy after "
+                f"{self.registry.folded} rows were folded under "
+                f"{self.windows.policy}")
+        self.windows.policy = policy
+
+    @property
+    def watermark_policy(self) -> WatermarkPolicy:
+        return self.windows.policy
+
+    def late_accounting(self) -> dict:
+        """Late-event bookkeeping of the window view (policy outcomes)."""
+        return {
+            "policy": str(self.windows.policy),
+            "late_admitted": int(self.windows.late_admitted),
+            "late_dropped": int(self.windows.late_dropped),
+        }
 
     def lookup(self, batch: EventBatch) -> np.ndarray:
         """The (len(batch), 8) feature matrix for a micro-batch of arrivals.
@@ -122,7 +156,9 @@ class AnalyticsFeatureProvider(FeatureProvider):
         return {
             "rows_folded": self.registry.folded,
             "watermark_time": self.windows.watermark_time,
+            "watermark_policy": str(self.windows.policy),
             "late_dropped": self.windows.late_dropped,
+            "late_admitted": self.windows.late_admitted,
             "top_risks": [[int(node), float(score)]
                           for node, score in self.topk.top()],
             "topk_heap_size": self.topk.heap_size,

@@ -33,9 +33,17 @@ __all__ = ["recompute_window", "recompute_velocity", "recompute_topk"]
 
 
 def recompute_window(num_nodes: int, window: float, num_buckets: int,
-                     src, dst, timestamps, labels) -> WindowAggregator:
-    """A fresh :class:`WindowAggregator` fed the whole stream in one fold."""
-    oracle = WindowAggregator(num_nodes, window, num_buckets=num_buckets)
+                     src, dst, timestamps, labels,
+                     policy=None) -> WindowAggregator:
+    """A fresh :class:`WindowAggregator` fed the whole stream in one fold.
+
+    ``policy`` (a :class:`~repro.analytics.watermark.WatermarkPolicy`)
+    applies the same late-event admission the incremental aggregator used:
+    lateness is a prefix property of the stream, so the admitted set — and
+    therefore the folded state — is identical regardless of chunking.
+    """
+    oracle = WindowAggregator(num_nodes, window, num_buckets=num_buckets,
+                              policy=policy)
     oracle.fold(np.asarray(src), np.asarray(dst), np.asarray(timestamps),
                 np.asarray(labels))
     return oracle

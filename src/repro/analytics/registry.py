@@ -35,6 +35,8 @@ Every ``advance`` is instrumented with the ``features.advance``
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..obs import NULL_TELEMETRY
 
 __all__ = ["StaleStoreError", "ViewRegistry"]
@@ -45,11 +47,22 @@ class StaleStoreError(RuntimeError):
 
 
 class ViewRegistry:
-    """Folds store row ranges into registered views, each row exactly once."""
+    """Folds store row ranges into registered views, each row exactly once.
 
-    def __init__(self, store, telemetry=NULL_TELEMETRY):
+    ``event_times`` (optional) is a per-row occurrence-time column for
+    arrival-ordered out-of-order streams (the ``late_events`` scenario):
+    the store's append log is arrival order and its ``timestamps`` column
+    holds arrival times, while the views must fold by *occurrence* time —
+    the axis watermark policies act on.  When given, ``advance`` folds
+    ``event_times[lo:hi]`` instead of ``store.timestamps[lo:hi]``.
+    """
+
+    def __init__(self, store, telemetry=NULL_TELEMETRY, event_times=None):
         self.store = store
         self.telemetry = telemetry
+        if event_times is not None:
+            event_times = np.asarray(event_times, dtype=np.float64).reshape(-1)
+        self.event_times = event_times
         self._views: dict[str, object] = {}
         self._folded = 0  # store rows already published to every view
 
@@ -124,7 +137,14 @@ class ViewRegistry:
         with self.telemetry.span("features.advance", arg=hi - lo):
             src = self.store.src[lo:hi]
             dst = self.store.dst[lo:hi]
-            timestamps = self.store.timestamps[lo:hi]
+            if self.event_times is not None:
+                if len(self.event_times) < hi:
+                    raise StaleStoreError(
+                        f"event_times column holds {len(self.event_times)} "
+                        f"rows but advance({hi}) was requested")
+                timestamps = self.event_times[lo:hi]
+            else:
+                timestamps = self.store.timestamps[lo:hi]
             labels = self.store.labels[lo:hi]
             if not (len(src) == len(dst) == len(timestamps) == len(labels)
                     == hi - lo):

@@ -18,18 +18,28 @@ units behind the watermark depending on where the watermark sits inside its
 bucket.  That is the standard precision/state trade of ring aggregation —
 raise ``num_buckets`` for a sharper window edge.
 
-Late events (timestamps behind the watermark) are tolerated up to the ring
-horizon: an event whose bucket is still live folds into that bucket exactly
-as if it had arrived on time; an event older than the horizon
+Late events (timestamps behind the watermark) are governed by an explicit
+:class:`~repro.analytics.watermark.WatermarkPolicy`.  Under the default
+``admit`` policy — the pre-policy behaviour — lateness itself never rejects
+an event: one whose bucket is still live folds into that bucket exactly as
+if it had arrived on time, and only an event older than the ring horizon
 (``watermark_bucket - num_buckets + 1``) is dropped and counted in
 :attr:`WindowAggregator.late_dropped` — it could only land in a bucket that
-has already been expired and cleared.  The watermark itself never moves
-backwards.  ``tests/analytics/test_views.py`` pins both behaviours.
+has already been expired and cleared.  ``fold-late`` additionally drops
+events more than a declared lateness behind the watermark, and ``drop``
+rejects anything behind it.  Admitted events that were late at all are
+counted in :attr:`WindowAggregator.late_admitted`.  Lateness is measured
+against the running occurrence-time prefix maximum, so policy decisions do
+not depend on batch boundaries.  The watermark itself never moves
+backwards.  ``tests/analytics/test_views.py`` and
+``tests/scenarios/test_watermark_policy.py`` pin these behaviours.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .watermark import WatermarkPolicy
 
 __all__ = ["WindowAggregator"]
 
@@ -45,9 +55,14 @@ class WindowAggregator:
         Sliding-window span in event-time units.
     num_buckets:
         Ring resolution; each bucket covers ``window / num_buckets`` time.
+    policy:
+        The :class:`~repro.analytics.watermark.WatermarkPolicy` governing
+        late events; ``WatermarkPolicy.admit()`` (the pre-policy behaviour)
+        when omitted.
     """
 
-    def __init__(self, num_nodes: int, window: float, num_buckets: int = 16):
+    def __init__(self, num_nodes: int, window: float, num_buckets: int = 16,
+                 policy: WatermarkPolicy | None = None):
         if num_nodes <= 0:
             raise ValueError("num_nodes must be positive")
         if window <= 0:
@@ -57,6 +72,7 @@ class WindowAggregator:
         self.num_nodes = num_nodes
         self.window = float(window)
         self.num_buckets = int(num_buckets)
+        self.policy = policy if policy is not None else WatermarkPolicy.admit()
         self.bucket_width = self.window / self.num_buckets
         # Ring state: column ``b % num_buckets`` holds absolute bucket ``b``
         # while it is live.  Counts are float64 on purpose: the recompute
@@ -67,7 +83,8 @@ class WindowAggregator:
         self.label_sums = np.zeros((num_nodes, num_buckets), dtype=np.float64)
         self._watermark_bucket: int | None = None  # absolute id of newest bucket
         self.watermark_time = -np.inf
-        self.late_dropped = 0
+        self.late_dropped = 0    # rejected by policy or by the ring horizon
+        self.late_admitted = 0   # folded despite arriving behind the watermark
         self.num_folded = 0
 
     # ------------------------------------------------------------------ #
@@ -111,6 +128,26 @@ class WindowAggregator:
         self.label_sums[:, entering] = 0.0
         self._watermark_bucket = new_bucket
 
+    def lateness_of(self, timestamps: np.ndarray) -> np.ndarray:
+        """Per-event lateness against the running occurrence-time watermark.
+
+        Event ``i`` of the block is late by ``max(0, prefix_i - t_i)`` where
+        ``prefix_i`` is the maximum of the aggregator's watermark before
+        this block and all earlier timestamps *within* it.  The prefix
+        depends only on the stream's global order, never on where batch
+        boundaries fall — which is what makes policy decisions identical
+        between chunked folds and one-shot recomputation.
+        """
+        timestamps = np.asarray(timestamps, dtype=np.float64).reshape(-1)
+        if not len(timestamps):
+            return timestamps
+        prefix = np.empty_like(timestamps)
+        prefix[0] = self.watermark_time
+        if len(timestamps) > 1:
+            np.maximum(np.maximum.accumulate(timestamps[:-1]),
+                       self.watermark_time, out=prefix[1:])
+        return np.maximum(0.0, prefix - timestamps)
+
     def fold(self, src: np.ndarray, dst: np.ndarray, timestamps: np.ndarray,
              labels: np.ndarray, first_row: int = 0) -> None:
         """Fold one event block: both endpoints count, labels accumulate.
@@ -118,7 +155,10 @@ class WindowAggregator:
         The uniform view interface :meth:`ViewRegistry.advance` calls.
         Occurrence order is per event, source endpoint before destination —
         the same order the recompute oracle uses, which is what makes label
-        sums bit-equal between incremental and batch recomputation.
+        sums bit-equal between incremental and batch recomputation.  Late
+        events are admitted or rejected by :attr:`policy` first (on their
+        batch-independent lateness), then by the ring horizon; both kinds
+        of rejection are counted in :attr:`late_dropped`.
         """
         del first_row  # windows do not need row ids
         src = np.asarray(src, dtype=np.int64).reshape(-1)
@@ -128,9 +168,14 @@ class WindowAggregator:
         if not len(src):
             return
         buckets = self._bucket_of(timestamps)
+        lateness = self.lateness_of(timestamps)
+        admitted = self.policy.admit_mask(lateness)
+        # The watermark tracks the newest occurrence time *observed*, folded
+        # or not — a rejected straggler must not hold time back.
         self.advance_watermark(float(timestamps.max()))
-        live = buckets >= self.horizon_bucket
+        live = admitted & (buckets >= self.horizon_bucket)
         self.late_dropped += int(len(buckets) - live.sum())
+        self.late_admitted += int((live & (lateness > 0)).sum())
         if not live.any():
             self.num_folded += len(src)
             return

@@ -1,21 +1,27 @@
-"""Temporal interaction datasets: synthetic generators, JODIE CSV I/O, splits."""
+"""Temporal interaction datasets: synthetic generators, JODIE/TGB I/O, splits."""
 
 from .base import DatasetSplit, TemporalDataset, chronological_split
 from .jodie_format import load_jodie_csv, save_jodie_csv
 from .registry import available_datasets, get_dataset
 from .statistics import DatasetStatistics, compute_statistics, statistics_table
 from .synthetic import alipay_like, bipartite_interaction_dataset, reddit_like, wikipedia_like
+from .tgb_format import load_tgb_npz, save_tgb_npz
+from .timedelta import TGB_TIME_DELTAS, TimeDelta
 
 __all__ = [
     "TemporalDataset",
     "DatasetSplit",
     "chronological_split",
+    "TimeDelta",
+    "TGB_TIME_DELTAS",
     "bipartite_interaction_dataset",
     "wikipedia_like",
     "reddit_like",
     "alipay_like",
     "load_jodie_csv",
     "save_jodie_csv",
+    "load_tgb_npz",
+    "save_tgb_npz",
     "get_dataset",
     "available_datasets",
     "DatasetStatistics",

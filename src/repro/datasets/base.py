@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.temporal_graph import TemporalGraph
+from .timedelta import TimeDelta
 
 __all__ = ["TemporalDataset", "DatasetSplit", "chronological_split"]
 
@@ -69,6 +70,16 @@ class TemporalDataset:
         "node" when the label describes the source node's future state
         (Wikipedia/Reddit editing/posting bans) or "edge" when it describes the
         interaction itself (Alipay fraudulent transaction).
+    event_times:
+        Optional true occurrence times when ``timestamps`` are *arrival*
+        times of an out-of-order stream (the ``late_events`` scenario):
+        ``event_times[i] <= timestamps[i]`` per event, and the array is in
+        general **not** sorted — its disorder, bounded by the scenario's
+        declared max lateness, is exactly what watermark policies act on.
+        ``None`` for in-order streams (timestamps == occurrence times).
+    time_delta:
+        The granularity of one timestamp unit (:class:`TimeDelta`); seconds
+        by default, matching the JODIE convention.
     """
 
     name: str
@@ -80,6 +91,8 @@ class TemporalDataset:
     bipartite: bool = True
     label_kind: str = "node"
     metadata: dict = field(default_factory=dict)
+    event_times: np.ndarray | None = None
+    time_delta: TimeDelta = field(default_factory=lambda: TimeDelta("s"))
 
     def __post_init__(self):
         self.src = np.asarray(self.src, dtype=np.int64)
@@ -87,6 +100,15 @@ class TemporalDataset:
         self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
         self.edge_features = np.asarray(self.edge_features, dtype=np.float64)
         self.labels = np.asarray(self.labels, dtype=np.float64)
+        self.time_delta = TimeDelta.from_any(self.time_delta)
+        if self.event_times is not None:
+            self.event_times = np.asarray(self.event_times, dtype=np.float64)
+            if len(self.event_times) != len(self.timestamps):
+                raise ValueError("event_times must align with timestamps")
+            if np.any(self.event_times > self.timestamps):
+                raise ValueError(
+                    "event_times must not exceed their arrival timestamps "
+                    "(an event cannot arrive before it happened)")
         lengths = {len(self.src), len(self.dst), len(self.timestamps),
                    len(self.edge_features), len(self.labels)}
         if len(lengths) != 1:
@@ -98,6 +120,8 @@ class TemporalDataset:
             self.timestamps = self.timestamps[order]
             self.edge_features = self.edge_features[order]
             self.labels = self.labels[order]
+            if self.event_times is not None:
+                self.event_times = self.event_times[order]
         if self.label_kind not in ("node", "edge"):
             raise ValueError("label_kind must be 'node' or 'edge'")
 
@@ -126,6 +150,21 @@ class TemporalDataset:
     def num_labeled(self) -> int:
         """Number of events carrying a positive dynamic label."""
         return int((self.labels > 0).sum())
+
+    def lateness(self) -> np.ndarray:
+        """Per-event lateness against the running event-time watermark.
+
+        For arrival-ordered streams (``event_times`` set) this is
+        ``max(event_times[:i+1]) - event_times[i]`` — how far behind the
+        newest occurrence time already seen each event arrives, the quantity
+        a :class:`~repro.analytics.watermark.WatermarkPolicy` bounds.  All
+        zeros for in-order streams.
+        """
+        times = self.event_times if self.event_times is not None \
+            else self.timestamps
+        if len(times) == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.maximum.accumulate(times) - times
 
     def to_temporal_graph(self) -> TemporalGraph:
         """Materialise the full event stream as a :class:`TemporalGraph`."""

@@ -19,16 +19,20 @@ from pathlib import Path
 import numpy as np
 
 from .base import TemporalDataset
+from .timedelta import TimeDelta
 
 __all__ = ["load_jodie_csv", "save_jodie_csv"]
 
 
 def load_jodie_csv(path: str | Path, name: str | None = None,
-                   bipartite: bool = True, label_kind: str = "node") -> TemporalDataset:
+                   bipartite: bool = True, label_kind: str = "node",
+                   time_delta: TimeDelta | str | None = None) -> TemporalDataset:
     """Load a JODIE-format CSV into a :class:`TemporalDataset`.
 
     Item ids are offset by ``num_users`` so the two id spaces are disjoint,
-    matching the preprocessing used by TGAT/TGN/APAN.
+    matching the preprocessing used by TGAT/TGN/APAN.  ``time_delta`` names
+    the granularity of the CSV's timestamp column; the JODIE files count
+    seconds since the first event, the default.
     """
     path = Path(path)
     users: list[int] = []
@@ -73,6 +77,7 @@ def load_jodie_csv(path: str | Path, name: str | None = None,
         bipartite=bipartite,
         label_kind=label_kind,
         metadata={"source_file": str(path)},
+        time_delta=TimeDelta.from_any(time_delta),
     )
 
 

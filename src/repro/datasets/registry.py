@@ -3,6 +3,13 @@
 ``get_dataset("wikipedia", scale=0.01)`` returns the synthetic stand-in for
 the corresponding paper dataset; if a real JODIE CSV is available its path can
 be passed instead and the loader is used.
+
+The hostile-workload scenarios from :mod:`repro.scenarios` are registered
+under the same interface (``get_dataset("bursty", scale=0.01)``): each
+scenario name maps to its generator with the published-scale sizes at
+``scale=1.0`` — e.g. ``hubs`` reaches a 10^5-degree hub node at full scale —
+and the dataset's declared :class:`~repro.scenarios.spec.ScenarioSpec` rides
+along in ``dataset.metadata["scenario"]``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,61 @@ _GENERATORS = {
 }
 
 
+def _scaled(full_size: int, scale: float, floor: int) -> int:
+    return max(floor, int(round(full_size * scale)))
+
+
+# Published-scale sizes the scenario generators reach at scale=1.0.  The
+# scenario generators live in repro.scenarios (which imports this package),
+# so they are imported lazily inside each wrapper.
+def _bursty_scenario(scale: float = 1.0, seed: int = 0) -> TemporalDataset:
+    from ..scenarios.generators import bursty_arrivals
+    return bursty_arrivals(
+        num_events=_scaled(200_000, scale, 400),
+        num_nodes=_scaled(20_000, scale, 80),
+        seed=seed,
+    )[0]
+
+
+def _hubs_scenario(scale: float = 1.0, seed: int = 0) -> TemporalDataset:
+    from ..scenarios.generators import hub_nodes
+    # hub_degree reaches 10^5 at full scale (the paper-motivating extreme);
+    # 2 hubs x degree always fits inside the event budget (400k >= 2x100k).
+    return hub_nodes(
+        num_events=_scaled(400_000, scale, 400),
+        num_nodes=_scaled(40_000, scale, 40),
+        hub_degree=_scaled(100_000, scale, 8),
+        num_hubs=2,
+        seed=seed,
+    )[0]
+
+
+def _drift_scenario(scale: float = 1.0, seed: int = 0) -> TemporalDataset:
+    from ..scenarios.generators import concept_drift
+    return concept_drift(
+        num_events=_scaled(150_000, scale, 400),
+        num_nodes=_scaled(15_000, scale, 80),
+        seed=seed,
+    )[0]
+
+
+def _late_scenario(scale: float = 1.0, seed: int = 0) -> TemporalDataset:
+    from ..scenarios.generators import late_events
+    return late_events(
+        num_events=_scaled(150_000, scale, 400),
+        num_nodes=_scaled(15_000, scale, 80),
+        seed=seed,
+    )[0]
+
+
+_GENERATORS.update({
+    "bursty": _bursty_scenario,
+    "hubs": _hubs_scenario,
+    "drift": _drift_scenario,
+    "late": _late_scenario,
+})
+
+
 def available_datasets() -> list[str]:
     """Names accepted by :func:`get_dataset`."""
     return sorted(_GENERATORS)
@@ -34,11 +96,14 @@ def get_dataset(name: str, scale: float = 1.0, seed: int | None = None,
     Parameters
     ----------
     name:
-        One of ``wikipedia``, ``reddit``, ``alipay``.
+        A paper stand-in (``wikipedia``, ``reddit``, ``alipay``) or a
+        hostile-workload scenario (``bursty``, ``hubs``, ``drift``,
+        ``late``).
     scale:
         Fraction of the published dataset size to generate (synthetic path).
         The benchmarks use small scales so they run in seconds; ``1.0``
-        reproduces the full published statistics.
+        reproduces the full published statistics (for scenarios: the
+        declared full-scale stress, e.g. the 10^5-degree hub).
     seed:
         Override the generator's default seed.
     csv_path:

@@ -1,0 +1,134 @@
+"""Time-granularity abstraction for temporal event streams.
+
+Every dataset's ``timestamps`` column is a bare float array; what one *unit*
+of it means differs per source: the JODIE CSVs count seconds since the first
+event, TGB datasets mix second- and day-granular clocks, and purely synthetic
+streams are often only *ordered* (the value carries rank, not duration).
+:class:`TimeDelta` makes that granularity an explicit, comparable object (the
+``TimeDeltaDG`` idiom of openDG): a unit string plus an integer multiplier,
+``TimeDelta('s')`` for seconds, ``TimeDelta('m', 5)`` for five-minute ticks,
+``TimeDelta('r')`` for ordered/relative streams with no metric duration.
+
+:class:`~repro.datasets.base.TemporalDataset` carries a ``time_delta``
+(seconds by default — the JODIE convention), the loaders thread it through,
+and :data:`TGB_TIME_DELTAS` records the published granularities of the TGB
+benchmark streams so a TGB-style loader can resolve them by name.  Anything
+that interprets a duration against the stream (sliding windows, watermark
+lateness bounds, staleness reports) can convert with :meth:`TimeDelta.convert`
+instead of guessing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TimeDelta", "TGB_TIME_DELTAS"]
+
+# Metric units in seconds; 'r' is the ordered (non-metric) unit.
+_UNIT_SECONDS = {
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+}
+_ORDERED_UNIT = "r"
+
+
+class TimeDelta:
+    """The granularity of one timestamp unit: ``value`` × ``unit``.
+
+    ``unit`` is one of ``'us'``, ``'ms'``, ``'s'``, ``'m'``, ``'h'``, ``'d'``
+    (metric) or ``'r'`` (ordered: timestamps are ranks, durations between
+    them are not physically meaningful).  ``value`` is a positive multiplier,
+    so ``TimeDelta('m', 15)`` reads "one timestamp unit is 15 minutes".
+    """
+
+    __slots__ = ("unit", "value")
+
+    def __init__(self, unit: str = _ORDERED_UNIT, value: int | float = 1):
+        if isinstance(unit, TimeDelta):  # idempotent copy-construction
+            unit, value = unit.unit, unit.value if value == 1 else value
+        if unit not in _UNIT_SECONDS and unit != _ORDERED_UNIT:
+            raise ValueError(
+                f"unknown time unit {unit!r}; expected one of "
+                f"{sorted(_UNIT_SECONDS)} or {_ORDERED_UNIT!r} (ordered)")
+        if value <= 0:
+            raise ValueError("time_delta value must be positive")
+        if unit == _ORDERED_UNIT and value != 1:
+            raise ValueError("ordered time ('r') admits no multiplier")
+        self.unit = unit
+        self.value = value
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_ordered(self) -> bool:
+        """True when timestamps are ranks, not metric time."""
+        return self.unit == _ORDERED_UNIT
+
+    def to_seconds(self) -> float:
+        """Seconds covered by one timestamp unit (metric units only)."""
+        if self.is_ordered:
+            raise ValueError("ordered time ('r') has no metric duration")
+        return self.value * _UNIT_SECONDS[self.unit]
+
+    def convert(self, other: "TimeDelta | str") -> float:
+        """How many ``other`` units one unit of *this* granularity spans.
+
+        ``TimeDelta('h').convert('m') == 60.0``.  Conversion between ordered
+        and metric granularities is undefined and raises.
+        """
+        other = other if isinstance(other, TimeDelta) else TimeDelta(other)
+        if self.is_ordered != other.is_ordered:
+            raise ValueError(
+                f"cannot convert between ordered and metric time "
+                f"({self!r} -> {other!r})")
+        if self.is_ordered:
+            return 1.0
+        return self.to_seconds() / other.to_seconds()
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TimeDelta):
+            return NotImplemented
+        if self.is_ordered or other.is_ordered:
+            return self.is_ordered == other.is_ordered
+        return self.to_seconds() == other.to_seconds()
+
+    def __hash__(self) -> int:
+        return hash(_ORDERED_UNIT if self.is_ordered else self.to_seconds())
+
+    def __repr__(self) -> str:
+        if self.value == 1:
+            return f"TimeDelta({self.unit!r})"
+        return f"TimeDelta({self.unit!r}, {self.value})"
+
+    def as_dict(self) -> dict:
+        return {"unit": self.unit, "value": self.value}
+
+    @classmethod
+    def from_any(cls, value: "TimeDelta | str | dict | None") -> "TimeDelta":
+        """Coerce a unit string, ``as_dict`` payload or None (-> seconds)."""
+        if value is None:
+            return cls("s")
+        if isinstance(value, TimeDelta):
+            return value
+        if isinstance(value, str):
+            return cls(value)
+        if isinstance(value, dict):
+            return cls(value["unit"], value.get("value", 1))
+        raise TypeError(f"bad time_delta type: {type(value)}")
+
+
+#: Published granularities of the TGB benchmark streams (the openDG
+#: ``TGB_TIME_DELTAS`` idiom): loaders resolve these by dataset name so a
+#: ``tgbl-*`` stream arrives with the right metric unit attached.
+TGB_TIME_DELTAS: dict[str, TimeDelta] = {
+    "tgbl-wiki": TimeDelta("s"),
+    "tgbl-review": TimeDelta("s"),
+    "tgbl-coin": TimeDelta("s"),
+    "tgbl-comment": TimeDelta("s"),
+    "tgbl-flight": TimeDelta("d"),
+    "tgbn-trade": TimeDelta("d", 365),
+    "tgbn-genre": TimeDelta("s"),
+    "tgbn-reddit": TimeDelta("s"),
+}

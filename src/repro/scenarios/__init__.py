@@ -1,0 +1,53 @@
+"""Hostile-workload scenarios: adversarial streams with declared invariants.
+
+The rest of the repo proves its claims on well-behaved synthetic streams.
+This package generates the streams that *break* naive implementations —
+arrival bursts, extreme-degree hubs, concept drift, bounded out-of-order
+delivery — each as a :class:`~repro.datasets.base.TemporalDataset` paired
+with a machine-readable :class:`ScenarioSpec` declaring exactly which
+invariants the stream guarantees (and ``tests/scenarios/`` proves).
+
+* :mod:`repro.scenarios.generators` — the four deterministic generators:
+  :func:`bursty_arrivals`, :func:`hub_nodes`, :func:`concept_drift`,
+  :func:`late_events`.
+* :class:`ScenarioSpec` — the frozen declaration (scenario, seed, sizes,
+  invariants) with a stable :meth:`~ScenarioSpec.fingerprint` for caching.
+* :class:`WatermarkPolicy` (re-export of
+  :class:`repro.analytics.WatermarkPolicy`) — how late events are
+  adjudicated when a hostile stream meets the online feature store.
+* :class:`ScenarioMatrix` — the cached models x scenarios x serving-modes
+  batch-evaluation harness behind ``BENCH_scenarios.json``.
+* :class:`TimeDelta` / :data:`TGB_TIME_DELTAS` (re-exports from
+  :mod:`repro.datasets.timedelta`) — the time-granularity vocabulary the
+  scenario streams and loaders share.
+
+See ``docs/SCENARIOS.md`` for the design.
+"""
+
+from ..analytics import WatermarkPolicy
+from ..datasets.timedelta import TGB_TIME_DELTAS, TimeDelta
+from .generators import bursty_arrivals, concept_drift, hub_nodes, late_events
+from .matrix import (
+    DEFAULT_MATRIX_MODES,
+    MATRIX_SCENARIOS,
+    SCENARIO_GENERATORS,
+    ScenarioMatrix,
+    default_model_zoo,
+)
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioSpec",
+    "WatermarkPolicy",
+    "TimeDelta",
+    "TGB_TIME_DELTAS",
+    "bursty_arrivals",
+    "hub_nodes",
+    "concept_drift",
+    "late_events",
+    "SCENARIO_GENERATORS",
+    "MATRIX_SCENARIOS",
+    "DEFAULT_MATRIX_MODES",
+    "default_model_zoo",
+    "ScenarioMatrix",
+]

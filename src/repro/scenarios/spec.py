@@ -1,0 +1,56 @@
+"""Machine-readable declarations of what a hostile scenario guarantees.
+
+Every generator in :mod:`repro.scenarios.generators` returns its stream
+*together with* a :class:`ScenarioSpec`: the scenario's declared invariants
+(burst peak/mean ratio, hub max-degree, drift point and regimes, lateness
+bound) in a form both the property-test suite and the scenario-matrix
+harness can consume.  The suite in ``tests/scenarios/`` proves each
+generator's output satisfies its own spec; the matrix report embeds the
+specs so a ``BENCH_scenarios.json`` cell is interpretable without rerunning
+the generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declared, checkable invariants of one generated scenario stream.
+
+    ``invariants`` maps invariant names to declared values; each generator
+    documents its own keys (e.g. ``peak_mean_ratio`` for ``bursty``,
+    ``hub_degree`` for ``hubs``, ``drift_time`` for ``drift``,
+    ``max_lateness`` for ``late``).  The spec is hashable into a stable
+    ``fingerprint`` used as the cache key of the matrix harness.
+    """
+
+    scenario: str
+    seed: int
+    num_events: int
+    num_nodes: int
+    time_delta: str = "s"
+    invariants: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "num_events": self.num_events,
+            "num_nodes": self.num_nodes,
+            "time_delta": self.time_delta,
+            "invariants": dict(self.invariants),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the spec (cache key material)."""
+        payload = json.dumps(self.as_dict(), sort_keys=True, default=float)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def __getitem__(self, key: str):
+        return self.invariants[key]

@@ -163,6 +163,11 @@ class RuntimeConfig:
     # sink, whose spans cost roughly one attribute access.
     telemetry: bool = False
     trace_capacity: int = 32768
+    # Late-event admission policy (a repro.analytics.WatermarkPolicy) for
+    # the run's feature-store folds.  Scorer-side only — never shipped to
+    # workers; the simulator installs it on its FeatureProvider before the
+    # first publish.  None: keep whatever policy the provider already has.
+    watermark_policy: object | None = None
 
     def validate(self) -> "RuntimeConfig":
         if self.num_workers <= 0:

@@ -98,6 +98,17 @@ class FeatureProvider:
         """Publish event rows ``[0, hi)`` to the provider's views."""
         return int(hi)
 
+    def set_watermark_policy(self, policy) -> None:
+        """Install a late-event :class:`~repro.analytics.WatermarkPolicy`.
+
+        Called by the simulator before serving starts when it was built
+        with an explicit ``watermark_policy``.  No-op for the stub.
+        """
+
+    def late_accounting(self) -> dict:
+        """Late-event policy outcomes (``late_admitted``/``late_dropped``)."""
+        return {}
+
 
 @dataclass
 class ServingReport:
@@ -124,6 +135,11 @@ class ServingReport:
     mean_staleness_ms: float = 0.0
     max_staleness_ms: float = 0.0
     max_backlog: int = 0
+    # Late-event accounting of the run's feature provider under its
+    # watermark policy (zeros / "" when no provider was attached).
+    watermark_policy: str = ""
+    late_admitted: int = 0
+    late_dropped: int = 0
     decision_latencies_ms: list[float] = field(default_factory=list, repr=False)
 
     def as_dict(self) -> dict:
@@ -139,7 +155,22 @@ class ServingReport:
             "mean_staleness_ms": self.mean_staleness_ms,
             "max_staleness_ms": self.max_staleness_ms,
             "max_backlog": self.max_backlog,
+            "watermark_policy": self.watermark_policy,
+            "late_admitted": self.late_admitted,
+            "late_dropped": self.late_dropped,
         }
+
+
+def _late_extra(provider: FeatureProvider | None) -> dict:
+    """ServingReport fields from the provider's late-event accounting."""
+    if provider is None:
+        return {}
+    accounting = provider.late_accounting() or {}
+    return {
+        "watermark_policy": str(accounting.get("policy", "")),
+        "late_admitted": int(accounting.get("late_admitted", 0)),
+        "late_dropped": int(accounting.get("late_dropped", 0)),
+    }
 
 
 def _percentile_report(mode: str, decision_latencies: list[float],
@@ -171,7 +202,8 @@ class DeploymentSimulator:
                  storage: StorageLatencyModel | None = None,
                  batch_size: int = 200, async_workers: int = 2,
                  async_work_factor: float = 1.0,
-                 feature_provider: FeatureProvider | None = None):
+                 feature_provider: FeatureProvider | None = None,
+                 watermark_policy=None):
         self.model = model
         self.graph = graph
         self.storage = storage if storage is not None else StorageLatencyModel()
@@ -181,6 +213,11 @@ class DeploymentSimulator:
         # Optional online feature store consulted on the decision path; its
         # view maintenance (advance) runs off the critical path per batch.
         self.feature_provider = feature_provider
+        # Late-event admission policy (a repro.analytics.WatermarkPolicy)
+        # for the provider's folds; installed before the first publish.
+        self.watermark_policy = watermark_policy
+        if feature_provider is not None and watermark_policy is not None:
+            feature_provider.set_watermark_policy(watermark_policy)
         # After an "asynchronous-real" run with RuntimeConfig(telemetry=True),
         # holds the run's Telemetry (private post-close copy): call
         # .write_chrome_trace(path) / .snapshot() on it.  None otherwise.
@@ -291,6 +328,7 @@ class DeploymentSimulator:
             mean_staleness_ms=float(np.mean(lags)) if lags else 0.0,
             max_staleness_ms=float(np.max(lags)) if lags else 0.0,
             max_backlog=queue.max_queue_depth_reached(),
+            **_late_extra(provider),
         )
 
     # ------------------------------------------------------------------ #
@@ -308,6 +346,11 @@ class DeploymentSimulator:
         from .runtime import RuntimeConfig, ServingRuntime  # local: keep import cheap
 
         config = runtime_config or RuntimeConfig(num_workers=self.async_workers)
+        if self.feature_provider is not None and \
+                config.watermark_policy is not None:
+            # Config-level policy wins for this run (raises if the provider
+            # already folded rows under a different policy).
+            self.feature_provider.set_watermark_policy(config.watermark_policy)
         runtime = ServingRuntime.for_model(self.model, config)
 
         was_training = self.model.training
@@ -376,6 +419,7 @@ class DeploymentSimulator:
             mean_staleness_ms=float(np.mean(staleness)) if staleness else 0.0,
             max_staleness_ms=float(np.max(staleness)) if staleness else 0.0,
             max_backlog=max_backlog,
+            **_late_extra(provider),
         )
 
     # ------------------------------------------------------------------ #

@@ -155,7 +155,10 @@ class TestSyntheticGenerators:
 
 class TestRegistry:
     def test_available_names(self):
-        assert set(available_datasets()) == {"alipay", "reddit", "wikipedia"}
+        assert set(available_datasets()) == {
+            "alipay", "reddit", "wikipedia",
+            "bursty", "drift", "hubs", "late",
+        }
 
     def test_get_dataset_dispatch(self):
         dataset = get_dataset("wikipedia", scale=0.003)

@@ -1,0 +1,82 @@
+"""Registry coverage of the hostile scenarios + seed determinism of synthetics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import available_datasets, get_dataset
+
+SCENARIO_NAMES = ("bursty", "hubs", "drift", "late")
+SYNTHETIC_NAMES = ("wikipedia", "reddit", "alipay")
+
+COLUMNS = ("src", "dst", "timestamps", "labels", "edge_features")
+
+
+def assert_streams_equal(a, b):
+    for column in COLUMNS:
+        assert np.array_equal(getattr(a, column), getattr(b, column)), column
+    if a.event_times is None:
+        assert b.event_times is None
+    else:
+        assert np.array_equal(a.event_times, b.event_times)
+
+
+class TestScenarioRegistration:
+    def test_scenarios_are_listed(self):
+        names = available_datasets()
+        assert set(SCENARIO_NAMES) <= set(names)
+        assert set(SYNTHETIC_NAMES) <= set(names)
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_get_dataset_returns_declared_scenario(self, name):
+        dataset = get_dataset(name, scale=0.004)
+        spec = dataset.metadata["scenario"]
+        assert spec["scenario"] == dataset.name == name
+        assert spec["num_events"] == dataset.num_events
+        assert spec["invariants"]
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_scenarios_are_seed_deterministic(self, name):
+        assert_streams_equal(get_dataset(name, scale=0.004, seed=5),
+                             get_dataset(name, scale=0.004, seed=5))
+
+    def test_scale_controls_declared_stress(self):
+        small = get_dataset("hubs", scale=0.002)
+        large = get_dataset("hubs", scale=0.01)
+        assert large.num_events > small.num_events
+        hub_small = small.metadata["scenario"]["invariants"]["hub_degree"]
+        hub_large = large.metadata["scenario"]["invariants"]["hub_degree"]
+        assert hub_large > hub_small
+        # At full scale the declared hub degree is the paper-motivating 10^5
+        # (not generated here; the declaration is the scale mapping's slope).
+        assert int(round(hub_large / 0.01)) == 100_000
+
+    def test_late_scenario_carries_event_times(self):
+        dataset = get_dataset("late", scale=0.004)
+        assert dataset.event_times is not None
+        lateness = dataset.lateness()
+        assert lateness.max() > 0.0
+        assert lateness.max() <= dataset.metadata["scenario"]["invariants"]["max_lateness"]
+
+    def test_unknown_name_still_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("adversarial-nonsense")
+
+
+class TestSyntheticSeedDeterminism:
+    """Same name + scale + seed reproduces the stream bit for bit."""
+
+    @pytest.mark.parametrize("name", SYNTHETIC_NAMES)
+    def test_same_seed_bit_identical(self, name):
+        assert_streams_equal(get_dataset(name, scale=0.003, seed=9),
+                             get_dataset(name, scale=0.003, seed=9))
+
+    @pytest.mark.parametrize("name", SYNTHETIC_NAMES)
+    def test_default_seed_is_stable(self, name):
+        assert_streams_equal(get_dataset(name, scale=0.003),
+                             get_dataset(name, scale=0.003))
+
+    @pytest.mark.parametrize("name", SYNTHETIC_NAMES)
+    def test_different_seeds_differ(self, name):
+        a = get_dataset(name, scale=0.003, seed=1)
+        b = get_dataset(name, scale=0.003, seed=2)
+        assert not np.array_equal(a.timestamps, b.timestamps)

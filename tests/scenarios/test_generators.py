@@ -1,0 +1,158 @@
+"""Hypothesis suite: every generator's stream satisfies its own ScenarioSpec.
+
+The generators *declare* invariants (via :class:`ScenarioSpec`); these
+properties prove the declaration against the generated arrays for arbitrary
+sizes, seeds and scenario parameters — plus the determinism contract: the
+same seed reproduces the stream bit for bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import TemporalDataset
+from repro.scenarios import (
+    bursty_arrivals,
+    concept_drift,
+    hub_nodes,
+    late_events,
+)
+
+seeds = st.integers(min_value=0, max_value=2**16)
+sizes = st.integers(min_value=80, max_value=400)
+
+COMMON = dict(max_examples=30, deadline=None)
+
+
+def assert_valid_stream(dataset: TemporalDataset, spec):
+    assert dataset.num_events == spec.num_events
+    assert dataset.num_nodes <= spec.num_nodes  # ids drawn from [0, nodes)
+    assert np.all(np.diff(dataset.timestamps) >= 0)
+    assert np.all(dataset.src != dataset.dst)
+    assert np.all((0 <= dataset.src) & (dataset.src < spec.num_nodes))
+    assert np.all((0 <= dataset.dst) & (dataset.dst < spec.num_nodes))
+    assert dataset.metadata["scenario"] == spec.as_dict()
+
+
+def assert_bit_identical(pair_a, pair_b):
+    a, spec_a = pair_a
+    b, spec_b = pair_b
+    assert spec_a == spec_b
+    assert spec_a.fingerprint() == spec_b.fingerprint()
+    for column in ("src", "dst", "timestamps", "labels", "edge_features",
+                   "event_times"):
+        left, right = getattr(a, column), getattr(b, column)
+        if left is None:
+            assert right is None
+        else:
+            assert np.array_equal(left, right)
+
+
+class TestBursty:
+    @settings(**COMMON)
+    @given(n=sizes, seed=seeds,
+           ratio=st.floats(min_value=2.0, max_value=10.0),
+           num_bursts=st.integers(min_value=1, max_value=4))
+    def test_declared_peak_mean_ratio_holds(self, n, seed, ratio, num_bursts):
+        dataset, spec = bursty_arrivals(
+            num_events=n, num_nodes=60, peak_mean_ratio=ratio,
+            num_bursts=num_bursts, num_buckets=64, seed=seed)
+        assert_valid_stream(dataset, spec)
+        width = spec["bucket_width"]
+        counts = np.bincount(
+            np.minimum((dataset.timestamps / width).astype(int), 63),
+            minlength=64)
+        assert counts.max() >= spec["peak_mean_ratio"] * counts.mean()
+        # At least num_bursts buckets hold a full burst each.
+        assert (counts >= spec["events_per_burst"]).sum() >= spec["num_bursts"]
+        assert np.all(dataset.timestamps <= spec["timespan"])
+
+    @settings(**COMMON)
+    @given(seed=seeds)
+    def test_same_seed_bit_identical(self, seed):
+        build = lambda: bursty_arrivals(num_events=150, num_nodes=40, seed=seed)
+        assert_bit_identical(build(), build())
+
+
+class TestHubs:
+    @settings(**COMMON)
+    @given(n=sizes, seed=seeds, num_hubs=st.integers(min_value=1, max_value=3))
+    def test_declared_hub_degree_holds(self, n, seed, num_hubs):
+        dataset, spec = hub_nodes(num_events=n, num_nodes=80,
+                                  num_hubs=num_hubs, seed=seed)
+        assert_valid_stream(dataset, spec)
+        hubs = spec["hub_nodes"]
+        assert len(hubs) == spec["num_hubs"] == num_hubs
+        in_degree = np.bincount(dataset.dst, minlength=80)
+        for hub in hubs:
+            assert in_degree[hub] >= spec["hub_degree"]
+        # Hub traffic is interleaved, not a prefix: hub events reach into
+        # the second half of the stream.
+        positions = np.flatnonzero(np.isin(dataset.dst, hubs))
+        assert positions.max() >= n // 2
+
+    @settings(**COMMON)
+    @given(seed=seeds)
+    def test_same_seed_bit_identical(self, seed):
+        build = lambda: hub_nodes(num_events=150, num_nodes=50, seed=seed)
+        assert_bit_identical(build(), build())
+
+
+class TestDrift:
+    @settings(**COMMON)
+    @given(n=sizes, seed=seeds,
+           drift_fraction=st.floats(min_value=0.2, max_value=0.8),
+           rate_shift=st.floats(min_value=1.0, max_value=4.0))
+    def test_declared_regimes_hold(self, n, seed, drift_fraction, rate_shift):
+        dataset, spec = concept_drift(num_events=n, num_nodes=60,
+                                      drift_fraction=drift_fraction,
+                                      rate_shift=rate_shift, seed=seed)
+        assert_valid_stream(dataset, spec)
+        pre = dataset.timestamps < spec["drift_time"]
+        assert pre.sum() == spec["pre_events"]
+        assert (~pre).sum() == spec["post_events"]
+        assert dataset.labels[pre].sum() == spec["pre_positives"]
+        assert dataset.labels[~pre].sum() == spec["post_positives"]
+        # The realised rates match the declaration exactly (exact-count
+        # placement), and the drift direction is as declared.
+        assert spec["pre_label_rate"] == spec["pre_positives"] / spec["pre_events"]
+        assert spec["post_label_rate"] == spec["post_positives"] / spec["post_events"]
+        assert spec["pre_label_rate"] <= spec["post_label_rate"]
+
+    @settings(**COMMON)
+    @given(seed=seeds)
+    def test_same_seed_bit_identical(self, seed):
+        build = lambda: concept_drift(num_events=150, num_nodes=40, seed=seed)
+        assert_bit_identical(build(), build())
+
+
+class TestLate:
+    @settings(**COMMON)
+    @given(n=sizes, seed=seeds,
+           max_lateness=st.floats(min_value=0.0, max_value=20000.0),
+           late_fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_declared_lateness_bound_holds(self, n, seed, max_lateness,
+                                           late_fraction):
+        dataset, spec = late_events(num_events=n, num_nodes=60,
+                                    max_lateness=max_lateness,
+                                    late_fraction=late_fraction, seed=seed)
+        assert_valid_stream(dataset, spec)
+        assert dataset.event_times is not None
+        # Arrival order is the storage order; occurrence times may disorder
+        # but never beyond the declared bound.
+        lateness = dataset.lateness()
+        assert lateness.max(initial=0.0) <= spec["max_lateness"]
+        assert lateness.max(initial=0.0) == spec["max_observed_lateness"]
+        assert (lateness > 0).sum() == spec["num_late"]
+        assert np.all(dataset.event_times <= dataset.timestamps)
+
+    @settings(**COMMON)
+    @given(seed=seeds)
+    def test_same_seed_bit_identical(self, seed):
+        build = lambda: late_events(num_events=150, num_nodes=40, seed=seed)
+        assert_bit_identical(build(), build())
+
+    def test_zero_lateness_degenerates_to_in_order(self):
+        dataset, spec = late_events(num_events=100, num_nodes=20,
+                                    max_lateness=0.0, seed=3)
+        assert spec["num_late"] == 0
+        assert np.array_equal(dataset.event_times, dataset.timestamps)

@@ -1,0 +1,125 @@
+"""TimeDelta granularity semantics and its adoption by datasets/loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    TGB_TIME_DELTAS,
+    TemporalDataset,
+    TimeDelta,
+    load_jodie_csv,
+    load_tgb_npz,
+    save_jodie_csv,
+    save_tgb_npz,
+    wikipedia_like,
+)
+
+
+def tiny(n=6, **kwargs):
+    rng = np.random.default_rng(0)
+    return TemporalDataset(
+        name="t", src=np.arange(n, dtype=np.int64) % 3,
+        dst=(np.arange(n, dtype=np.int64) % 3) + 3,
+        timestamps=np.arange(n, dtype=np.float64),
+        edge_features=rng.normal(size=(n, 4)),
+        labels=np.zeros(n), bipartite=False, **kwargs,
+    )
+
+
+class TestTimeDelta:
+    def test_metric_conversion(self):
+        assert TimeDelta("h").convert("m") == 60.0
+        assert TimeDelta("d").convert("h") == 24.0
+        assert TimeDelta("m", 15).convert("s") == 900.0
+        assert TimeDelta("s").to_seconds() == 1.0
+        assert TimeDelta("d", 365).to_seconds() == 365 * 86400.0
+
+    def test_equality_is_by_duration(self):
+        assert TimeDelta("m") == TimeDelta("s", 60)
+        assert TimeDelta("h") != TimeDelta("m")
+        assert hash(TimeDelta("m")) == hash(TimeDelta("s", 60))
+
+    def test_ordered_unit_is_non_metric(self):
+        ordered = TimeDelta("r")
+        assert ordered.is_ordered
+        with pytest.raises(ValueError):
+            ordered.to_seconds()
+        with pytest.raises(ValueError):
+            ordered.convert("s")
+        with pytest.raises(ValueError):
+            TimeDelta("s").convert(ordered)
+        assert ordered.convert(TimeDelta("r")) == 1.0
+        assert ordered == TimeDelta("r")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeDelta("fortnight")
+        with pytest.raises(ValueError):
+            TimeDelta("s", 0)
+        with pytest.raises(ValueError):
+            TimeDelta("r", 5)  # ordered admits no multiplier
+
+    def test_from_any(self):
+        assert TimeDelta.from_any(None) == TimeDelta("s")
+        assert TimeDelta.from_any("h") == TimeDelta("h")
+        delta = TimeDelta("m", 5)
+        assert TimeDelta.from_any(delta) is delta
+        assert TimeDelta.from_any(delta.as_dict()) == delta
+        with pytest.raises(TypeError):
+            TimeDelta.from_any(3.5)
+
+    def test_tgb_table_names_known_streams(self):
+        assert TGB_TIME_DELTAS["tgbl-wiki"] == TimeDelta("s")
+        assert TGB_TIME_DELTAS["tgbl-flight"] == TimeDelta("d")
+        assert TGB_TIME_DELTAS["tgbn-trade"].to_seconds() == 365 * 86400.0
+
+
+class TestDatasetAdoption:
+    def test_default_is_seconds(self):
+        assert tiny().time_delta == TimeDelta("s")
+        assert wikipedia_like(scale=0.002).time_delta == TimeDelta("s")
+
+    def test_explicit_granularity_is_kept_and_coerced(self):
+        assert tiny(time_delta=TimeDelta("d")).time_delta == TimeDelta("d")
+        assert tiny(time_delta="h").time_delta == TimeDelta("h")
+
+    def test_event_times_validation(self):
+        times = np.arange(6, dtype=np.float64)
+        dataset = tiny(event_times=times - 0.5)
+        assert np.array_equal(dataset.event_times, times - 0.5)
+        with pytest.raises(ValueError):
+            tiny(event_times=times[:3])  # misaligned length
+        with pytest.raises(ValueError):
+            tiny(event_times=times + 1.0)  # arrives before it happened
+
+    def test_lateness_against_running_watermark(self):
+        dataset = tiny(event_times=np.array([0.0, 1.0, 0.5, 3.0, 1.5, 5.0]))
+        assert np.array_equal(dataset.lateness(),
+                              [0.0, 0.0, 0.5, 0.0, 1.5, 0.0])
+        # Without event_times, arrivals are the event times: never late.
+        assert np.all(tiny().lateness() == 0.0)
+
+
+class TestLoaders:
+    def test_jodie_roundtrip_carries_time_delta(self, tmp_path):
+        dataset = wikipedia_like(scale=0.002)
+        path = tmp_path / "wiki.csv"
+        save_jodie_csv(dataset, path)
+        loaded = load_jodie_csv(path, name="wiki", time_delta="h")
+        assert loaded.time_delta == TimeDelta("h")
+        assert load_jodie_csv(path).time_delta == TimeDelta("s")
+
+    def test_tgb_roundtrip_resolves_granularity_by_name(self, tmp_path):
+        dataset = wikipedia_like(scale=0.002)
+        path = tmp_path / "stream.npz"
+        save_tgb_npz(dataset, path)
+        loaded = load_tgb_npz(path, name="tgbl-flight")
+        assert loaded.time_delta == TGB_TIME_DELTAS["tgbl-flight"]
+        assert loaded.num_events == dataset.num_events
+        assert np.array_equal(loaded.src, dataset.src)
+        assert np.array_equal(loaded.timestamps, dataset.timestamps)
+        # Unknown names fall back to the JODIE convention (seconds).
+        assert load_tgb_npz(path, name="mystery").time_delta == TimeDelta("s")
+        # An explicit override beats the name table.
+        assert load_tgb_npz(path, name="tgbl-flight",
+                            time_delta="m").time_delta == TimeDelta("m")
